@@ -1,0 +1,70 @@
+"""E1 — Figure 1: single-source normalized k-means cost and running time.
+
+The paper plots, for MNIST and NeurIPS, the CDF over 10 Monte-Carlo runs of
+(a) the normalized k-means cost and (b) the running time at the data source
+for FSS, JL+FSS (Alg. 1), FSS+JL (Alg. 2), and JL+FSS+JL (Alg. 3).
+
+Expected shape (paper): all four algorithms reach a similar normalized cost
+(1.0–1.1 on MNIST, 1.0–1.25 on NeurIPS); JL+FSS and JL+FSS+JL are clearly
+faster than FSS and FSS+JL because the expensive coreset step runs on
+dimension-reduced data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_helpers import print_cdf, print_table, run_once, single_source_factories, summarize_result
+
+
+def _run(runner, d):
+    return runner.run_single_source(single_source_factories(d))
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_mnist(benchmark, mnist_runner, mnist_dataset):
+    points, _ = mnist_dataset
+    result = run_once(benchmark, lambda: _run(mnist_runner, points.shape[1]))
+    print_cdf(
+        "Fig. 1(a) MNIST-like: normalized k-means cost",
+        {label: result.metric_samples(label, "normalized_cost") for label in result.evaluations},
+    )
+    print_cdf(
+        "Fig. 1(a) MNIST-like: data-source running time (s)",
+        {label: result.metric_samples(label, "source_seconds") for label in result.evaluations},
+    )
+    print_table(
+        "Fig. 1(a) MNIST-like: means",
+        summarize_result(result),
+        ["normalized_cost", "normalized_communication", "source_seconds"],
+    )
+    summary = result.summary()
+    # Shape check from the paper: the DR-first pipelines are not slower than
+    # the CR-first/FSS pipelines, and every algorithm stays within a modest
+    # factor of the optimal cost.
+    assert summary["JL+FSS (Alg1)"].mean_source_seconds <= summary["FSS"].mean_source_seconds * 1.5
+    assert all(s.mean_normalized_cost < 2.0 for s in summary.values())
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_neurips(benchmark, neurips_runner, neurips_dataset):
+    points, _ = neurips_dataset
+    result = run_once(benchmark, lambda: _run(neurips_runner, points.shape[1]))
+    print_cdf(
+        "Fig. 1(b) NeurIPS-like: normalized k-means cost",
+        {label: result.metric_samples(label, "normalized_cost") for label in result.evaluations},
+    )
+    print_cdf(
+        "Fig. 1(b) NeurIPS-like: data-source running time (s)",
+        {label: result.metric_samples(label, "source_seconds") for label in result.evaluations},
+    )
+    print_table(
+        "Fig. 1(b) NeurIPS-like: means",
+        summarize_result(result),
+        ["normalized_cost", "normalized_communication", "source_seconds"],
+    )
+    summary = result.summary()
+    # Paper observation (iii): for the higher-dimensional dataset, JL+FSS is
+    # substantially faster than FSS+JL at similar cost and communication.
+    assert summary["JL+FSS (Alg1)"].mean_source_seconds <= summary["FSS+JL (Alg2)"].mean_source_seconds
+    assert all(s.mean_normalized_cost < 2.5 for s in summary.values())

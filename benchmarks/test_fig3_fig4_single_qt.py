@@ -1,0 +1,89 @@
+"""E5/E6 — Figures 3 and 4: single-source pipelines with quantization.
+
+The paper sweeps the number of significant bits ``s`` retained by the
+rounding quantizer (1..53) for FSS+QT, JL+FSS+QT, FSS+JL+QT, and
+JL+FSS+JL+QT and plots, against ``s``: (a) the normalized k-means cost,
+(b) the normalized communication cost, and (c) the running time.
+
+Expected shape (paper): the communication cost grows roughly linearly with
+``s``; the k-means cost is flat for moderate-to-large ``s`` and only blows up
+when ``s`` is very small; the running time is essentially independent of
+``s``.  Consequently a properly configured quantizer (moderate ``s``) cuts
+communication by roughly 2/3 relative to s = 53 at no cost in quality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from bench_helpers import (
+    MONTE_CARLO_RUNS,
+    QT_BITS_GRID,
+    print_series,
+    run_once,
+    single_source_factories,
+)
+from repro.metrics import ExperimentRunner
+
+
+def _sweep(points) -> Dict[str, Dict[str, List[float]]]:
+    """Run the s-sweep; returns series[metric][algorithm] aligned with QT_BITS_GRID."""
+    runner = ExperimentRunner(points, k=2, monte_carlo_runs=max(1, MONTE_CARLO_RUNS - 1), seed=21)
+    cost_series: Dict[str, List[float]] = {}
+    comm_series: Dict[str, List[float]] = {}
+    time_series: Dict[str, List[float]] = {}
+    for bits in QT_BITS_GRID:
+        factories = single_source_factories(points.shape[1], quantizer_bits=bits)
+        result = runner.run_single_source(factories)
+        for label in factories:
+            cost_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "normalized_cost")))
+            )
+            comm_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "normalized_communication")))
+            )
+            time_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "source_seconds")))
+            )
+    return {"cost": cost_series, "comm": comm_series, "time": time_series}
+
+
+def _check_shape(series: Dict[str, Dict[str, List[float]]]) -> None:
+    grid = list(QT_BITS_GRID)
+    for label, comm in series["comm"].items():
+        # (b) Communication shrinks when fewer significant bits are kept.
+        assert comm[0] < comm[-1], (label, comm)
+        # (a) Moderate quantization does not blow up the k-means cost: the
+        # cost at s = 20 stays close to the unquantized cost at s = 53.
+        cost = series["cost"][label]
+        s20 = grid.index(20)
+        assert cost[s20] <= cost[-1] * 1.3 + 0.1, (label, cost)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_mnist_qt_sweep(benchmark, mnist_dataset):
+    points, _ = mnist_dataset
+    series = run_once(benchmark, lambda: _sweep(points))
+    print_series("Fig. 3(a) MNIST-like: normalized k-means cost vs s",
+                 "s (bits)", QT_BITS_GRID, series["cost"])
+    print_series("Fig. 3(b) MNIST-like: normalized communication vs s",
+                 "s (bits)", QT_BITS_GRID, series["comm"])
+    print_series("Fig. 3(c) MNIST-like: source running time (s) vs s",
+                 "s (bits)", QT_BITS_GRID, series["time"])
+    _check_shape(series)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_neurips_qt_sweep(benchmark, neurips_dataset):
+    points, _ = neurips_dataset
+    series = run_once(benchmark, lambda: _sweep(points))
+    print_series("Fig. 4(a) NeurIPS-like: normalized k-means cost vs s",
+                 "s (bits)", QT_BITS_GRID, series["cost"])
+    print_series("Fig. 4(b) NeurIPS-like: normalized communication vs s",
+                 "s (bits)", QT_BITS_GRID, series["comm"])
+    print_series("Fig. 4(c) NeurIPS-like: source running time (s) vs s",
+                 "s (bits)", QT_BITS_GRID, series["time"])
+    _check_shape(series)

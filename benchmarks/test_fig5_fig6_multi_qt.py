@@ -1,0 +1,89 @@
+"""E7/E8 — Figures 5 and 6: multi-source pipelines with quantization.
+
+Same sweep as Figures 3–4 but for BKLW+QT and JL+BKLW+QT over 10 data
+sources.
+
+Expected shape (paper): communication decreases with fewer significant bits
+(about 10 % saving at the optimum relative to s = 53, smaller than in the
+single-source case because the disPCA basis transfer is not quantized);
+normalized cost and running time remain flat except for very small ``s``;
+JL+BKLW+QT dominates BKLW+QT in both communication and running time at
+similar cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from bench_helpers import (
+    MONTE_CARLO_RUNS,
+    NUM_SOURCES,
+    QT_BITS_GRID,
+    multi_source_factories,
+    print_series,
+    run_once,
+)
+from repro.metrics import ExperimentRunner
+
+
+def _sweep(points) -> Dict[str, Dict[str, List[float]]]:
+    runner = ExperimentRunner(points, k=2, monte_carlo_runs=max(1, MONTE_CARLO_RUNS - 1), seed=33)
+    cost_series: Dict[str, List[float]] = {}
+    comm_series: Dict[str, List[float]] = {}
+    time_series: Dict[str, List[float]] = {}
+    for bits in QT_BITS_GRID:
+        factories = multi_source_factories(points.shape[1], quantizer_bits=bits)
+        result = runner.run_multi_source(factories, num_sources=NUM_SOURCES)
+        for label in factories:
+            cost_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "normalized_cost")))
+            )
+            comm_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "normalized_communication")))
+            )
+            time_series.setdefault(label, []).append(
+                float(np.mean(result.metric_samples(label, "source_seconds")))
+            )
+    return {"cost": cost_series, "comm": comm_series, "time": time_series}
+
+
+def _check_shape(series: Dict[str, Dict[str, List[float]]]) -> None:
+    grid = list(QT_BITS_GRID)
+    s20 = grid.index(20)
+    for label, comm in series["comm"].items():
+        assert comm[0] < comm[-1], (label, comm)
+        cost = series["cost"][label]
+        assert cost[s20] <= cost[-1] * 1.3 + 0.1, (label, cost)
+    # Algorithm 4 transmits less than BKLW at every precision level.
+    bklw = series["comm"]["BKLW"]
+    alg4 = series["comm"]["JL+BKLW (Alg4)"]
+    assert all(a <= b for a, b in zip(alg4, bklw))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_mnist_multi_qt_sweep(benchmark, mnist_dataset):
+    points, _ = mnist_dataset
+    series = run_once(benchmark, lambda: _sweep(points))
+    print_series("Fig. 5(a) MNIST-like: normalized k-means cost vs s",
+                 "s (bits)", QT_BITS_GRID, series["cost"])
+    print_series("Fig. 5(b) MNIST-like: normalized communication vs s",
+                 "s (bits)", QT_BITS_GRID, series["comm"])
+    print_series("Fig. 5(c) MNIST-like: per-source running time (s) vs s",
+                 "s (bits)", QT_BITS_GRID, series["time"])
+    _check_shape(series)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_neurips_multi_qt_sweep(benchmark, neurips_dataset):
+    points, _ = neurips_dataset
+    series = run_once(benchmark, lambda: _sweep(points))
+    print_series("Fig. 6(a) NeurIPS-like: normalized k-means cost vs s",
+                 "s (bits)", QT_BITS_GRID, series["cost"])
+    print_series("Fig. 6(b) NeurIPS-like: normalized communication vs s",
+                 "s (bits)", QT_BITS_GRID, series["comm"])
+    print_series("Fig. 6(c) NeurIPS-like: per-source running time (s) vs s",
+                 "s (bits)", QT_BITS_GRID, series["time"])
+    _check_shape(series)

@@ -1,0 +1,46 @@
+"""E4 — Table 4: multi-source normalized communication cost.
+
+The paper reports, for MNIST and NeurIPS over 10 data sources, the total
+uplink bits of BKLW and JL+BKLW normalized by the raw data size (plus the
+NR = 1 baseline).
+
+Expected shape (paper): both far below 1; JL+BKLW cheaper than BKLW (1.69e-2
+vs 1.97e-2 on MNIST, 1.05e-2 vs 1.28e-2 on NeurIPS) because the disPCA
+sketches and disSS samples travel in the JL-reduced dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_helpers import NUM_SOURCES
+from bench_helpers import multi_source_factories, print_table, run_once, summarize_result
+
+
+def _table(runner, d):
+    result = runner.run_multi_source(multi_source_factories(d), num_sources=NUM_SOURCES)
+    return result, summarize_result(result, metrics=("normalized_communication", "normalized_cost"))
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_mnist(benchmark, mnist_runner, mnist_dataset):
+    points, _ = mnist_dataset
+    result, rows = run_once(benchmark, lambda: _table(mnist_runner, points.shape[1]))
+    rows["NR"] = {"normalized_communication": 1.0, "normalized_cost": 1.0}
+    print_table("Table 4 (MNIST-like): normalized communication cost", rows,
+                ["normalized_communication", "normalized_cost"])
+    table = result.table("normalized_communication")
+    assert table["BKLW"] < 0.6
+    assert table["JL+BKLW (Alg4)"] < table["BKLW"]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_neurips(benchmark, neurips_runner, neurips_dataset):
+    points, _ = neurips_dataset
+    result, rows = run_once(benchmark, lambda: _table(neurips_runner, points.shape[1]))
+    rows["NR"] = {"normalized_communication": 1.0, "normalized_cost": 1.0}
+    print_table("Table 4 (NeurIPS-like): normalized communication cost", rows,
+                ["normalized_communication", "normalized_cost"])
+    table = result.table("normalized_communication")
+    assert table["BKLW"] < 0.6
+    assert table["JL+BKLW (Alg4)"] < table["BKLW"]

@@ -1,0 +1,150 @@
+"""Command-line interface: run one communication-efficient k-means pipeline.
+
+Example invocations::
+
+    python -m repro --dataset mnist --algorithm jl-fss-jl --k 2
+    python -m repro --dataset neurips --algorithm bklw --sources 10
+    python -m repro --dataset mnist --algorithm jl-fss --quantize-bits 10 --runs 3
+
+The command generates the named synthetic dataset (see
+:mod:`repro.datasets`), runs the chosen algorithm for the requested number of
+Monte-Carlo runs, and prints the paper's three metrics: normalized k-means
+cost, normalized communication cost, and data-source running time.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional
+
+from repro.core.distributed_pipelines import (
+    BKLWPipeline,
+    DistributedNoReductionPipeline,
+    JLBKLWPipeline,
+    MultiSourcePipeline,
+)
+from repro.core.pipelines import (
+    FSSJLPipeline,
+    FSSPipeline,
+    JLFSSJLPipeline,
+    JLFSSPipeline,
+    NoReductionPipeline,
+)
+from repro.datasets import load_benchmark_dataset
+from repro.metrics import ExperimentRunner
+from repro.quantization.rounding import RoundingQuantizer
+
+#: CLI algorithm name -> (pipeline class, is_multi_source)
+ALGORITHMS = {
+    "nr": (NoReductionPipeline, False),
+    "fss": (FSSPipeline, False),
+    "jl-fss": (JLFSSPipeline, False),
+    "fss-jl": (FSSJLPipeline, False),
+    "jl-fss-jl": (JLFSSJLPipeline, False),
+    "nr-distributed": (DistributedNoReductionPipeline, True),
+    "bklw": (BKLWPipeline, True),
+    "jl-bklw": (JLBKLWPipeline, True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-efficient k-means for edge-based machine learning "
+                    "(ICDCS 2020 reproduction).",
+    )
+    parser.add_argument("--dataset", choices=("mnist", "neurips"), default="mnist",
+                        help="synthetic benchmark dataset to generate")
+    parser.add_argument("--n", type=int, default=None, help="dataset cardinality override")
+    parser.add_argument("--d", type=int, default=None, help="dataset dimension override")
+    parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="jl-fss-jl",
+                        help="pipeline to run")
+    parser.add_argument("--k", type=int, default=2, help="number of clusters")
+    parser.add_argument("--runs", type=int, default=1, help="Monte-Carlo repetitions")
+    parser.add_argument("--sources", type=int, default=10,
+                        help="number of data sources (multi-source algorithms only)")
+    parser.add_argument("--coreset-size", type=int, default=300,
+                        help="coreset cardinality (single-source algorithms)")
+    parser.add_argument("--total-samples", type=int, default=300,
+                        help="disSS global sample budget (multi-source algorithms)")
+    parser.add_argument("--pca-rank", type=int, default=None,
+                        help="PCA / disPCA rank t")
+    parser.add_argument("--jl-dimension", type=int, default=None,
+                        help="JL target dimension d'")
+    parser.add_argument("--quantize-bits", type=int, default=None,
+                        help="significant bits kept by the rounding quantizer (default: no quantization)")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    return parser
+
+
+def _make_factory(args: argparse.Namespace):
+    """Return (factory, is_multi) building a fresh pipeline per run seed."""
+    pipeline_cls, is_multi = ALGORITHMS[args.algorithm]
+    quantizer: Optional[RoundingQuantizer] = None
+    if args.quantize_bits is not None and args.quantize_bits < 53:
+        quantizer = RoundingQuantizer(args.quantize_bits)
+
+    def factory(seed: int):
+        if is_multi:
+            return pipeline_cls(
+                k=args.k,
+                total_samples=args.total_samples,
+                pca_rank=args.pca_rank,
+                jl_dimension=args.jl_dimension,
+                quantizer=quantizer,
+                seed=seed,
+            )
+        return pipeline_cls(
+            k=args.k,
+            coreset_size=args.coreset_size,
+            pca_rank=args.pca_rank,
+            jl_dimension=args.jl_dimension,
+            quantizer=quantizer,
+            seed=seed,
+        )
+
+    return factory, is_multi
+
+
+def run(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute the experiment described by parsed arguments.
+
+    Returns the summary row (also printed) so programmatic callers and tests
+    can inspect it.
+    """
+    points, spec = load_benchmark_dataset(args.dataset, n=args.n, d=args.d, seed=args.seed)
+    print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
+          f"k={args.k}, runs={args.runs}")
+
+    runner = ExperimentRunner(points, k=args.k, monte_carlo_runs=args.runs, seed=args.seed)
+    factory, is_multi = _make_factory(args)
+    label = args.algorithm
+    if is_multi:
+        result = runner.run_multi_source({label: factory}, num_sources=args.sources)
+    else:
+        result = runner.run_single_source({label: factory})
+
+    summary = result.summary()[label]
+    row = {
+        "normalized_cost": summary.mean_normalized_cost,
+        "normalized_communication": summary.mean_normalized_communication,
+        "source_seconds": summary.mean_source_seconds,
+        "runs": float(summary.runs),
+    }
+    print(f"normalized k-means cost : {row['normalized_cost']:.4f}")
+    print(f"normalized communication: {row['normalized_communication']:.6f}")
+    print(f"source running time (s) : {row['source_seconds']:.3f}")
+    return row
+
+
+def main(argv=None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    run(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

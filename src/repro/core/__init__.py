@@ -1,0 +1,69 @@
+"""Core: the paper's communication-efficient k-means pipelines.
+
+Single-source pipelines (Section 4):
+
+* :class:`NoReductionPipeline` — transmit the raw data (the "NR" baseline).
+* :class:`FSSPipeline` — the FSS baseline (Theorem 4.1).
+* :class:`JLFSSPipeline` — Algorithm 1 (DR + CR).
+* :class:`FSSJLPipeline` — Algorithm 2 (CR + DR).
+* :class:`JLFSSJLPipeline` — Algorithm 3 (DR + CR + DR).
+
+Multi-source pipelines (Section 5), operating on an
+:class:`~repro.distributed.cluster.EdgeCluster`:
+
+* :class:`DistributedNoReductionPipeline` — raw-data baseline.
+* :class:`BKLWPipeline` — the BKLW baseline (Theorem 5.3).
+* :class:`JLBKLWPipeline` — Algorithm 4 (Theorem 5.4).
+
+All pipelines accept an optional rounding quantizer, giving the +QT variants
+of Section 6, and return a :class:`PipelineReport` with the centers (in the
+original space) plus the communication and computation accounting.
+
+:mod:`repro.core.configuration` implements the quantizer-configuration
+optimizer of Section 6.3 and :mod:`repro.core.theory` the closed-form
+communication/complexity scalings of Table 2.
+"""
+
+from repro.core.report import PipelineReport
+from repro.core.pipelines import (
+    SingleSourcePipeline,
+    NoReductionPipeline,
+    FSSPipeline,
+    JLFSSPipeline,
+    FSSJLPipeline,
+    JLFSSJLPipeline,
+)
+from repro.core.distributed_pipelines import (
+    MultiSourcePipeline,
+    DistributedNoReductionPipeline,
+    BKLWPipeline,
+    JLBKLWPipeline,
+)
+from repro.core.configuration import (
+    QuantizerConfiguration,
+    configure_joint_reduction,
+    approximation_error_bound,
+    communication_cost_model,
+)
+from repro.core.theory import TheoreticalCosts, theoretical_costs, THEORY_TABLE_ROWS
+
+__all__ = [
+    "PipelineReport",
+    "SingleSourcePipeline",
+    "NoReductionPipeline",
+    "FSSPipeline",
+    "JLFSSPipeline",
+    "FSSJLPipeline",
+    "JLFSSJLPipeline",
+    "MultiSourcePipeline",
+    "DistributedNoReductionPipeline",
+    "BKLWPipeline",
+    "JLBKLWPipeline",
+    "QuantizerConfiguration",
+    "configure_joint_reduction",
+    "approximation_error_bound",
+    "communication_cost_model",
+    "TheoreticalCosts",
+    "theoretical_costs",
+    "THEORY_TABLE_ROWS",
+]

@@ -1,0 +1,264 @@
+"""Configuration of joint DR, CR, and QT (Section 6.3).
+
+Given a bound ``Y0`` on the acceptable approximation error and a confidence
+level ``1 − δ0``, choose the error parameters ``ε1^(1), ε2, ε1^(2)`` of the
+JL+FSS+JL pipeline and the number of significant bits ``s`` of the rounding
+quantizer so that the *predicted communication cost* (Eq. 22–24) is minimized
+subject to the error bound of Eq. (21b).
+
+Following the paper's simplification, the search sets
+``ε1^(1) = ε2 = ε1^(2) = ε`` and enumerates the finite set of possible
+``s`` values (1..52); for each ``s`` it computes the quantization error term
+``ε_QT = 4 n Δ_D Δ_QT / E`` (using the lower bound ``E`` on the optimal cost
+from a bicriteria solution), solves for the largest feasible ε from (21b) by
+bisection, and evaluates the communication model (24); the cheapest feasible
+configuration wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.kmeans.bicriteria import bicriteria_approximation
+from repro.quantization.bits import DOUBLE_SIGNIFICAND_BITS, bits_per_scalar
+from repro.utils.random import SeedLike
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+#: The paper's constant C1 (Section 6.3) for the FSS coreset cardinality.
+PAPER_C1 = 54912.0 * (1.0 + math.log2(3.0)) * (1.0 + math.log2(26.0 / 3.0)) / 225.0
+#: The paper's constant C2 for the JL dimension (d' <= ceil(8 log(4n'k/δ)/ε²)).
+PAPER_C2 = 24.0
+#: The paper's constant C3 for the quantizer precision term.
+PAPER_C3 = 2.0
+
+
+@dataclass(frozen=True)
+class QuantizerConfiguration:
+    """One feasible configuration of the JL+FSS+JL+QT pipeline.
+
+    Attributes
+    ----------
+    significant_bits:
+        Number of mantissa bits ``s`` retained by the rounding quantizer.
+    epsilon:
+        The common DR/CR error parameter ε (ε1^(1) = ε2 = ε1^(2)).
+    epsilon_qt:
+        The multiplicative form of the quantization error, ε_QT.
+    predicted_error:
+        The error bound Y of Eq. (21b) at this configuration.
+    predicted_communication:
+        The communication-cost model X of Eq. (24), in bits.
+    coreset_cardinality, coreset_dimension:
+        The summary geometry the model assumed.
+    """
+
+    significant_bits: int
+    epsilon: float
+    epsilon_qt: float
+    predicted_error: float
+    predicted_communication: float
+    coreset_cardinality: int
+    coreset_dimension: int
+
+
+def approximation_error_bound(epsilon: float, epsilon_qt: float) -> float:
+    """The error bound Y of Eq. (21b) with all DR/CR epsilons equal.
+
+    ``Y = ((1+ε)^4 / (1−ε)) · ((1+ε)^4 (1+ε) + ε_QT)`` — obtained from
+    (21b) by setting ε1^(1) = ε2 = ε1^(2) = ε.
+    """
+    epsilon = check_fraction(epsilon, "epsilon")
+    if epsilon_qt < 0:
+        raise ValueError(f"epsilon_qt must be non-negative, got {epsilon_qt}")
+    outer = (1.0 + epsilon) ** 4 / (1.0 - epsilon)
+    inner = (1.0 + epsilon) ** 5 + epsilon_qt
+    return outer * inner
+
+
+def _max_feasible_epsilon(y0: float, epsilon_qt: float, tolerance: float = 1e-9) -> Optional[float]:
+    """Largest ε in (0, 1) with ``approximation_error_bound(ε, ε_QT) ≤ Y0``.
+
+    Returns ``None`` if even ε → 0 violates the bound (i.e. ``1 + ε_QT > Y0``).
+    The bound is monotonically increasing in ε, so bisection applies.
+    """
+    if 1.0 + epsilon_qt > y0:
+        return None
+    lo, hi = 0.0, 1.0 - 1e-9
+    if approximation_error_bound(hi, epsilon_qt) <= y0:
+        return hi
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if approximation_error_bound(mid, epsilon_qt) <= y0:
+            lo = mid
+        else:
+            hi = mid
+    return lo if lo > 0 else None
+
+
+def fss_cardinality_model(k: int, epsilon: float, delta: float, c1: float = PAPER_C1) -> int:
+    """Coreset cardinality model ``n' = C1 k³ log²k log(1/δ)/ε⁴`` (Eq. 23)."""
+    log_k = math.log(max(k, 2))
+    return max(k + 1, int(math.ceil(c1 * k**3 * log_k**2 * math.log(1.0 / delta) / epsilon**4)))
+
+
+def jl_dimension_model(n_prime: int, k: int, epsilon: float, delta: float, c2: float = PAPER_C2) -> int:
+    """JL dimension model ``d' = C2 log(n'k/δ)/ε²`` (Eq. 23)."""
+    return max(1, int(math.ceil(c2 * math.log(max(n_prime, 2) * k / delta) / epsilon**2)))
+
+
+def communication_cost_model(
+    n: int,
+    d: int,
+    k: int,
+    epsilon: float,
+    epsilon_qt: float,
+    delta: float,
+    significant_bits: int,
+    use_paper_constants: bool = True,
+    coreset_cardinality: Optional[int] = None,
+    coreset_dimension: Optional[int] = None,
+) -> tuple[float, int, int]:
+    """The communication model X ≈ n'·d'·b' of Eq. (22)–(23), in bits.
+
+    Returns ``(bits, n', d')``.  When ``use_paper_constants`` is False the
+    caller must supply the empirical summary geometry
+    (``coreset_cardinality``/``coreset_dimension``), which matches how the
+    experiments of Section 7.3 sweep the configuration.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(d, "d")
+    check_positive_int(k, "k")
+    check_fraction(epsilon, "epsilon")
+    check_positive_int(significant_bits, "significant_bits")
+
+    if use_paper_constants:
+        n_prime = fss_cardinality_model(k, epsilon, delta)
+        d_prime = jl_dimension_model(n_prime, k, epsilon, delta)
+    else:
+        if coreset_cardinality is None or coreset_dimension is None:
+            raise ValueError(
+                "coreset_cardinality and coreset_dimension are required when "
+                "use_paper_constants is False"
+            )
+        n_prime = int(coreset_cardinality)
+        d_prime = int(coreset_dimension)
+
+    bits_each = bits_per_scalar(significant_bits)
+    bits = float(n_prime) * float(d_prime) * float(bits_each)
+    return bits, n_prime, d_prime
+
+
+def estimate_optimal_cost_lower_bound(
+    points: np.ndarray,
+    k: int,
+    repetitions: int = 3,
+    slack: float = 20.0,
+    seed: SeedLike = None,
+) -> float:
+    """Lower bound ``E ≤ cost(P, X*)`` via the adaptive-sampling bicriteria
+    solution (paper reference [36]): ``E = cost(P, B)/20``."""
+    points = check_matrix(points, "points")
+    result = bicriteria_approximation(points, k, repetitions=repetitions, seed=seed)
+    return max(result.optimal_cost_lower_bound(slack), 1e-12)
+
+
+def configure_joint_reduction(
+    n: int,
+    d: int,
+    k: int,
+    error_bound: float,
+    confidence: float = 0.9,
+    diameter: float = 2.0 * math.sqrt(2.0),
+    optimal_cost_lower_bound: float = 1.0,
+    max_norm: float = math.sqrt(2.0),
+    significant_bits_grid: Optional[Sequence[int]] = None,
+    use_paper_constants: bool = True,
+    coreset_cardinality: Optional[int] = None,
+    coreset_dimension: Optional[int] = None,
+) -> QuantizerConfiguration:
+    """Solve the configuration problem (21): minimize predicted communication
+    subject to the approximation-error bound.
+
+    Parameters
+    ----------
+    n, d, k:
+        Dataset cardinality, dimension, and number of clusters.
+    error_bound:
+        The bound ``Y0 > 1`` on the approximation ratio.
+    confidence:
+        Desired confidence ``1 − δ0``; the per-stage δ is set to
+        ``1 − (1 − δ0)^{1/3}`` as in the paper.
+    diameter:
+        Diameter Δ_D of the input space (after the paper's normalization to
+        [-1,1]^d with zero mean a safe default for the *projected* summaries
+        is supplied by callers; the default here corresponds to a unit-box
+        heuristic and should usually be overridden).
+    optimal_cost_lower_bound:
+        The lower bound ``E`` on cost(P, X*) (see
+        :func:`estimate_optimal_cost_lower_bound`).
+    max_norm:
+        ``max_p ‖p‖`` over the transmitted summary, used to convert ``s``
+        into the quantization error Δ_QT ≤ 2^{−s} max_p ‖p‖ (Eq. 14).
+    significant_bits_grid:
+        Candidate values of ``s``; default 1..52.
+    use_paper_constants, coreset_cardinality, coreset_dimension:
+        Passed to :func:`communication_cost_model`.
+
+    Returns
+    -------
+    QuantizerConfiguration
+        The feasible configuration with the smallest predicted communication.
+
+    Raises
+    ------
+    ValueError
+        If no configuration satisfies the error bound (``error_bound`` too
+        tight for the given ``E`` and ``max_norm``).
+    """
+    if error_bound <= 1.0:
+        raise ValueError(f"error_bound must exceed 1, got {error_bound}")
+    confidence = check_fraction(confidence, "confidence")
+    delta0 = 1.0 - confidence
+    delta = 1.0 - (1.0 - delta0) ** (1.0 / 3.0)
+    if optimal_cost_lower_bound <= 0:
+        raise ValueError("optimal_cost_lower_bound must be positive")
+
+    if significant_bits_grid is None:
+        significant_bits_grid = range(1, DOUBLE_SIGNIFICAND_BITS)
+
+    best: Optional[QuantizerConfiguration] = None
+    for s in significant_bits_grid:
+        s = int(s)
+        delta_qt = 2.0 ** (-s) * max_norm
+        epsilon_qt = 4.0 * n * diameter * delta_qt / optimal_cost_lower_bound
+        epsilon = _max_feasible_epsilon(error_bound, epsilon_qt)
+        if epsilon is None or epsilon <= 0:
+            continue
+        bits, n_prime, d_prime = communication_cost_model(
+            n, d, k, epsilon, epsilon_qt, delta, s,
+            use_paper_constants=use_paper_constants,
+            coreset_cardinality=coreset_cardinality,
+            coreset_dimension=coreset_dimension,
+        )
+        candidate = QuantizerConfiguration(
+            significant_bits=s,
+            epsilon=float(epsilon),
+            epsilon_qt=float(epsilon_qt),
+            predicted_error=float(approximation_error_bound(epsilon, epsilon_qt)),
+            predicted_communication=float(bits),
+            coreset_cardinality=n_prime,
+            coreset_dimension=d_prime,
+        )
+        if best is None or candidate.predicted_communication < best.predicted_communication:
+            best = candidate
+
+    if best is None:
+        raise ValueError(
+            "no quantizer configuration satisfies the requested error bound; "
+            "loosen error_bound or improve the optimal-cost lower bound"
+        )
+    return best

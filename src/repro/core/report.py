@@ -1,0 +1,75 @@
+"""The result record every pipeline returns.
+
+A :class:`PipelineReport` carries everything the paper's evaluation section
+measures for one run of one algorithm: the centers (already lifted back to
+the original space), the communication cost in scalars and in bits, the
+summary geometry, and separate source/server computation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.quantization.bits import DOUBLE_PRECISION_BITS
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of one pipeline execution.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name, e.g. ``"JL+FSS (Alg1)"``.
+    centers:
+        The k centers in the *original* d-dimensional space.
+    communication_scalars:
+        Uplink scalars transmitted by the data source(s).
+    communication_bits:
+        Uplink bits (differs from ``64 × scalars`` only when quantized).
+    source_seconds:
+        Local computation time at the data source(s) — the paper's
+        complexity metric.  In the multi-source case this is the *maximum*
+        per-source time (sources compute in parallel).
+    server_seconds:
+        Computation time at the edge server (informational only).
+    summary_cardinality, summary_dimension:
+        Shape of the transmitted summary (0/0 for the NR baseline, which has
+        no summary).
+    quantizer_bits:
+        Significant bits retained by the quantizer, or ``None`` when no
+        quantization was applied.
+    details:
+        Free-form extra accounting (per-tag scalar breakdown etc.).
+    """
+
+    algorithm: str
+    centers: np.ndarray
+    communication_scalars: int
+    communication_bits: int
+    source_seconds: float
+    server_seconds: float
+    summary_cardinality: int = 0
+    summary_dimension: int = 0
+    quantizer_bits: Optional[int] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ derived
+    def normalized_communication(self, n: int, d: int) -> float:
+        """Communication cost normalized by the raw dataset size.
+
+        The paper's Table 3/4 metric: transmitted bits divided by the bits of
+        the raw dataset at double precision (``64 · n · d``).
+        """
+        raw_bits = DOUBLE_PRECISION_BITS * int(n) * int(d)
+        if raw_bits <= 0:
+            raise ValueError("n and d must be positive")
+        return float(self.communication_bits) / raw_bits
+
+    def with_detail(self, **kwargs: float) -> "PipelineReport":
+        """Return self after merging extra detail entries (fluent helper)."""
+        self.details.update({k: float(v) for k, v in kwargs.items()})
+        return self

@@ -1,0 +1,57 @@
+"""Uniform-sampling coreset — an ablation baseline.
+
+Uniform sampling has no worst-case ε-coreset guarantee for k-means (a single
+far-away point can carry most of the cost yet be missed), but it is the
+natural naive alternative to sensitivity sampling and is used by the ablation
+benchmark to demonstrate why importance sampling matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cr.coreset import Coreset
+from repro.utils.random import SeedLike, as_generator
+from repro.utils.validation import check_matrix, check_positive_int, check_weights
+
+
+class UniformCoreset:
+    """Coreset by uniform sampling with inverse-probability weights.
+
+    Parameters
+    ----------
+    size:
+        Number of points to sample.
+    seed:
+        RNG seed or generator.
+    replace:
+        Sample with replacement (True, default) or without.
+    """
+
+    def __init__(self, size: int, seed: SeedLike = None, replace: bool = True) -> None:
+        self.size = check_positive_int(size, "size")
+        self.replace = bool(replace)
+        self._rng = as_generator(seed)
+
+    def build(
+        self,
+        points: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        shift: float = 0.0,
+    ) -> Coreset:
+        """Draw the uniform coreset; weights scale so total weight equals the
+        total input weight."""
+        points = check_matrix(points, "points")
+        n = points.shape[0]
+        weights = check_weights(weights, n)
+        size = min(self.size, n) if not self.replace else self.size
+
+        indices = self._rng.choice(n, size=size, replace=self.replace)
+        total_weight = float(weights.sum())
+        sample_weights = np.full(size, total_weight / size, dtype=float)
+        return Coreset(points[indices].copy(), sample_weights, shift=shift)
+
+    def __call__(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> Coreset:
+        return self.build(points, weights)

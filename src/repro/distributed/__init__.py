@@ -1,0 +1,38 @@
+"""Simulated edge deployment and distributed DR/CR algorithms.
+
+This package is the substrate for the multi-source setting of Section 5:
+
+* :class:`SimulatedNetwork`, :class:`DataSourceNode`, :class:`EdgeServer`,
+  :class:`EdgeCluster` — an in-process simulation of ``m`` data sources
+  connected to one edge server, where every transmission is an explicit
+  :class:`Message` and every scalar/bit is metered.
+* :func:`partition_dataset` — ways of splitting a dataset across sources.
+* :class:`DistributedPCA` (disPCA), :class:`DistributedSensitivitySampler`
+  (disSS), and :class:`BKLWCoreset` (disPCA + disSS) — the distributed
+  baseline algorithms from references [35], [4], and [27].
+"""
+
+from repro.distributed.network import Message, SimulatedNetwork, TransmissionLog
+from repro.distributed.node import DataSourceNode
+from repro.distributed.server import EdgeServer
+from repro.distributed.cluster import EdgeCluster
+from repro.distributed.partition import partition_dataset
+from repro.distributed.dispca import DistributedPCA, DisPCAResult
+from repro.distributed.disss import DistributedSensitivitySampler, DisSSResult
+from repro.distributed.bklw import BKLWCoreset, BKLWResult
+
+__all__ = [
+    "Message",
+    "SimulatedNetwork",
+    "TransmissionLog",
+    "DataSourceNode",
+    "EdgeServer",
+    "EdgeCluster",
+    "partition_dataset",
+    "DistributedPCA",
+    "DisPCAResult",
+    "DistributedSensitivitySampler",
+    "DisSSResult",
+    "BKLWCoreset",
+    "BKLWResult",
+]

@@ -1,0 +1,121 @@
+"""The edge server: aggregates summaries and solves k-means.
+
+The server is assumed to be much more powerful than the data sources
+(Section 3.4), so its computation is not part of the complexity metric; it is
+still timed separately for completeness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cr.coreset import Coreset, merge_coresets
+from repro.distributed.network import SimulatedNetwork
+from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
+from repro.utils.linalg import safe_svd
+from repro.utils.random import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+
+class EdgeServer:
+    """The edge server that receives summaries and computes k-means centers.
+
+    Parameters
+    ----------
+    network:
+        Shared simulated network (used for the rare downlink messages such as
+        the per-source sample-size allocation of disSS).
+    k:
+        Number of clusters to compute.
+    n_init, max_iterations:
+        Parameters of the server-side weighted k-means solver.
+    seed:
+        RNG seed for the solver.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        k: int,
+        n_init: int = 5,
+        max_iterations: int = 100,
+        seed: SeedLike = None,
+    ) -> None:
+        self.network = network
+        self.k = check_positive_int(k, "k")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self.rng = as_generator(seed)
+        #: Wall-clock seconds spent in server-side computation.
+        self.compute_seconds = 0.0
+        self._received_coresets: list[Coreset] = []
+
+    # -------------------------------------------------------------- helpers
+    def _timed(self, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.compute_seconds += time.perf_counter() - start
+        return result
+
+    def send_to_source(self, node_id: str, payload, tag: str, scalars: Optional[int] = None):
+        """Downlink transmission (e.g. disSS sample-size allocation)."""
+        return self.network.send(
+            sender="server", receiver=node_id, payload=payload, tag=tag, scalars=scalars
+        )
+
+    # ------------------------------------------------------------------ API
+    def receive_coreset(self, coreset: Coreset) -> None:
+        """Store a coreset received from a data source."""
+        self._received_coresets.append(coreset)
+
+    def merged_coreset(self) -> Coreset:
+        """Union of all received per-source coresets."""
+        if not self._received_coresets:
+            raise RuntimeError("no coresets have been received")
+        return merge_coresets(self._received_coresets)
+
+    def clear(self) -> None:
+        self._received_coresets = []
+
+    def solve_kmeans(self, coreset: Coreset) -> KMeansResult:
+        """Weighted k-means on a coreset (the ``kmeans(S', w, k)`` step)."""
+        solver = WeightedKMeans(
+            k=self.k,
+            n_init=self.n_init,
+            max_iterations=self.max_iterations,
+            seed=self.rng,
+        )
+        return self._timed(solver.fit, coreset.points, coreset.weights)
+
+    def global_svd(self, stacked: np.ndarray, rank: int) -> np.ndarray:
+        """Global SVD step of disPCA: returns the top-``rank`` right singular
+        vectors (columns) of the stacked per-source sketches."""
+        rank = check_positive_int(rank, "rank")
+
+        def _svd():
+            _, _, vt = safe_svd(stacked, full_matrices=False)
+            keep = min(rank, vt.shape[0])
+            return vt[:keep].T
+
+        return self._timed(_svd)
+
+    def allocate_sample_sizes(
+        self, costs: Sequence[float], total_samples: int
+    ) -> np.ndarray:
+        """disSS step 2: split the global sample budget across sources
+        proportionally to their reported local bicriteria costs."""
+        total_samples = check_positive_int(total_samples, "total_samples")
+        costs_arr = np.asarray(list(costs), dtype=float)
+        if np.any(costs_arr < 0):
+            raise ValueError("costs must be non-negative")
+        total_cost = costs_arr.sum()
+        m = costs_arr.shape[0]
+        if total_cost <= 0:
+            shares = np.full(m, 1.0 / m)
+        else:
+            shares = costs_arr / total_cost
+        sizes = np.maximum(1, np.round(shares * total_samples).astype(int))
+        return sizes

@@ -1,0 +1,24 @@
+"""Dimensionality reduction (DR) methods for k-means.
+
+Two families, mirroring Section 3.2 of the paper:
+
+* :class:`JLProjection` — data-oblivious random (Johnson–Lindenstrauss)
+  projections.  Because the projection matrix can be derived from a shared
+  seed, transmitting it costs nothing, which is the key to the
+  communication-cost savings of Algorithms 1, 3, and 4.
+* :class:`PCAProjection` — SVD-based projection onto the top singular
+  subspace, used inside FSS / disPCA.  Unlike JL, its basis is data-dependent
+  and must be shipped to the server, costing ``O(d * d')`` scalars.
+"""
+
+from repro.dr.base import DimensionalityReducer
+from repro.dr.jl import JLProjection, jl_target_dimension
+from repro.dr.pca import PCAProjection, pca_target_dimension
+
+__all__ = [
+    "DimensionalityReducer",
+    "JLProjection",
+    "jl_target_dimension",
+    "PCAProjection",
+    "pca_target_dimension",
+]

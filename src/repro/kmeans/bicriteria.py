@@ -1,0 +1,144 @@
+"""Bicriteria approximation for k-means via adaptive sampling.
+
+Implements the Aggarwal–Deshpande–Kannan adaptive-sampling scheme (paper
+references [36]/[42]): repeatedly draw batches of ``O(k)`` points with
+D²-sampling.  The selected set ``B`` has more than ``k`` points but its cost
+is within a constant factor of the optimal k-means cost with constant
+probability; repeating ``log(1/δ)`` times and keeping the best run boosts the
+confidence.
+
+Two consumers in this library:
+
+* sensitivity sampling (:mod:`repro.cr.sensitivity`) uses the bicriteria set
+  to upper-bound point sensitivities;
+* the quantizer configuration of Section 6.3 uses ``cost(P, B)/20`` as the
+  lower bound ``E`` on the optimal k-means cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kmeans.cost import assign_to_centers, weighted_kmeans_cost
+from repro.kmeans.seeding import d2_sampling
+from repro.utils.random import SeedLike, as_generator, spawn_generators
+from repro.utils.validation import check_matrix, check_positive_int, check_weights
+
+
+@dataclass
+class BicriteriaResult:
+    """A bicriteria solution: more than ``k`` centers, constant-factor cost.
+
+    Attributes
+    ----------
+    centers:
+        Selected points (shape ``(b, d)`` with ``b >= k`` typically).
+    cost:
+        Weighted k-means cost of the original data against ``centers``.
+    labels:
+        Nearest-center assignment of the input points.
+    rounds:
+        Number of adaptive-sampling rounds used by the winning repetition.
+    """
+
+    centers: np.ndarray
+    cost: float
+    labels: np.ndarray
+    rounds: int
+
+    @property
+    def size(self) -> int:
+        return int(self.centers.shape[0])
+
+    def optimal_cost_lower_bound(self, slack: float = 20.0) -> float:
+        """Lower bound ``E = cost / slack`` on the optimal k-means cost.
+
+        The adaptive-sampling guarantee states the bicriteria cost is at most
+        a constant (the paper uses 20) times the optimum, hence dividing by
+        that constant yields a valid lower bound with high probability.
+        """
+        return self.cost / float(slack)
+
+
+def bicriteria_approximation(
+    points: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    rounds: Optional[int] = None,
+    batch_factor: int = 3,
+    repetitions: int = 3,
+    seed: SeedLike = None,
+) -> BicriteriaResult:
+    """Adaptive-sampling bicriteria approximation for weighted k-means.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    k:
+        Target number of clusters.
+    weights:
+        Optional non-negative point weights.
+    rounds:
+        Number of adaptive sampling rounds; defaults to
+        ``ceil(log2(n)) + 1`` capped to keep the selected set small.
+    batch_factor:
+        Points drawn per round = ``batch_factor * k``.
+    repetitions:
+        Independent repetitions; the lowest-cost selection wins (this is the
+        ``log(1/δ)`` boosting described in Section 6.3).
+    seed:
+        RNG seed or generator.
+    """
+    points = check_matrix(points, "points")
+    k = check_positive_int(k, "k")
+    n = points.shape[0]
+    weights = check_weights(weights, n)
+    check_positive_int(batch_factor, "batch_factor")
+    check_positive_int(repetitions, "repetitions")
+    rng = as_generator(seed)
+
+    if rounds is None:
+        rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    rounds = check_positive_int(rounds, "rounds")
+
+    best: Optional[BicriteriaResult] = None
+    for rep_rng in spawn_generators(rng, repetitions):
+        centers = _single_adaptive_run(points, k, weights, rounds, batch_factor, rep_rng)
+        cost = weighted_kmeans_cost(points, centers, weights)
+        if best is None or cost < best.cost:
+            labels, _ = assign_to_centers(points, centers)
+            best = BicriteriaResult(
+                centers=centers, cost=float(cost), labels=labels, rounds=rounds
+            )
+    return best
+
+
+def _single_adaptive_run(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray,
+    rounds: int,
+    batch_factor: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One adaptive-sampling pass: iteratively add D²-sampled batches."""
+    n = points.shape[0]
+    batch = min(batch_factor * k, n)
+    selected_indices: list[int] = []
+    centers: Optional[np.ndarray] = None
+
+    for _ in range(rounds):
+        indices, _ = d2_sampling(points, centers, batch, weights=weights, seed=rng)
+        selected_indices.extend(int(i) for i in indices)
+        unique = np.unique(np.asarray(selected_indices, dtype=int))
+        centers = points[unique]
+        # Early exit: once the residual cost is (numerically) zero every
+        # point coincides with a selected center and further rounds are moot.
+        residual = weighted_kmeans_cost(points, centers, weights)
+        if residual <= 0.0:
+            break
+    return centers if centers is not None else points[:1].copy()

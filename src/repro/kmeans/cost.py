@@ -1,0 +1,151 @@
+"""k-means cost functions.
+
+Implements the cost definitions used throughout the paper:
+
+* Eq. (1): ``cost(P, X) = sum_{p in P} min_{x in X} ||p - x||^2``
+* Eq. (2): partition cost — optimal within-cluster sum of squares of a
+  partition, attained at the cluster means.
+* Eq. (4): coreset cost — weighted cost plus the constant shift Δ
+  (evaluated here through :func:`weighted_kmeans_cost`; the Δ bookkeeping
+  lives in :class:`repro.cr.coreset.Coreset`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.linalg import pairwise_squared_distances
+from repro.utils.validation import check_matrix, check_weights
+
+# Centres are processed against points in blocks of this many rows to keep the
+# intermediate distance matrix small for large datasets.
+_BLOCK_ROWS = 8192
+
+
+def _min_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Distance from every point to its nearest center (squared)."""
+    n = points.shape[0]
+    out = np.empty(n, dtype=float)
+    for start in range(0, n, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n)
+        d2 = pairwise_squared_distances(points[start:stop], centers)
+        out[start:stop] = d2.min(axis=1)
+    return out
+
+
+def assign_to_centers(points: np.ndarray, centers: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest center.
+
+    Returns ``(labels, squared_distances)`` where ``labels[i]`` is the index
+    of the nearest center of ``points[i]`` and ``squared_distances[i]`` the
+    squared Euclidean distance to it.  Ties are broken toward the
+    lowest-index center, matching the paper's "ties broken arbitrarily".
+    """
+    points = check_matrix(points, "points")
+    centers = check_matrix(centers, "centers")
+    n = points.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    dists = np.empty(n, dtype=float)
+    for start in range(0, n, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n)
+        d2 = pairwise_squared_distances(points[start:stop], centers)
+        labels[start:stop] = d2.argmin(axis=1)
+        dists[start:stop] = d2[np.arange(stop - start), labels[start:stop]]
+    return labels, dists
+
+
+def kmeans_cost(points: np.ndarray, centers: np.ndarray) -> float:
+    """Unweighted k-means cost of ``centers`` on ``points`` (Eq. 1)."""
+    points = check_matrix(points, "points")
+    centers = check_matrix(centers, "centers")
+    return float(_min_squared_distances(points, centers).sum())
+
+
+def weighted_kmeans_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    shift: float = 0.0,
+) -> float:
+    """Weighted k-means cost plus a constant shift (Eq. 4).
+
+    Parameters
+    ----------
+    points, centers:
+        ``(n, d)`` and ``(k, d)`` arrays.
+    weights:
+        Optional non-negative weights, one per point; ``None`` means 1.
+    shift:
+        The additive constant Δ carried by generalized coresets.
+    """
+    points = check_matrix(points, "points")
+    centers = check_matrix(centers, "centers")
+    weights = check_weights(weights, points.shape[0])
+    d2 = _min_squared_distances(points, centers)
+    return float(np.dot(weights, d2) + shift)
+
+
+def cluster_means(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Weighted means of each cluster; empty clusters return a zero row.
+
+    The optimal 1-means center of a cluster is its (weighted) sample mean
+    μ(P) — see Section 3.1 of the paper.
+    """
+    points = check_matrix(points, "points")
+    weights = check_weights(weights, points.shape[0])
+    d = points.shape[1]
+    means = np.zeros((k, d), dtype=float)
+    totals = np.zeros(k, dtype=float)
+    np.add.at(totals, labels, weights)
+    np.add.at(means, labels, points * weights[:, None])
+    nonempty = totals > 0
+    means[nonempty] /= totals[nonempty, None]
+    return means
+
+
+def partition_cost(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Optimal cost of a partition (Eq. 2): each cluster served by its mean."""
+    points = check_matrix(points, "points")
+    weights = check_weights(weights, points.shape[0])
+    means = cluster_means(points, labels, k, weights)
+    diffs = points - means[labels]
+    return float(np.sum(weights * np.einsum("ij,ij->i", diffs, diffs)))
+
+
+def partition_from_centers(points: np.ndarray, centers: np.ndarray) -> List[np.ndarray]:
+    """Return the induced partition P_{P,X} as a list of index arrays."""
+    labels, _ = assign_to_centers(points, centers)
+    return [np.flatnonzero(labels == i) for i in range(centers.shape[0])]
+
+
+def normalized_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    reference_centers: np.ndarray,
+) -> float:
+    """Normalized k-means cost ``cost(P, X) / cost(P, X*)`` used in Section 7."""
+    numerator = kmeans_cost(points, centers)
+    denominator = kmeans_cost(points, reference_centers)
+    if denominator <= 0.0:
+        # A zero reference cost means the reference centers fit P exactly;
+        # any other solution either also has zero cost (ratio 1) or is
+        # infinitely worse.
+        return 1.0 if numerator <= 0.0 else float("inf")
+    return float(numerator / denominator)
+
+
+def within_cluster_sizes(labels: np.ndarray, k: int) -> np.ndarray:
+    """Number of points per cluster for a label vector."""
+    return np.bincount(np.asarray(labels, dtype=np.int64), minlength=k)

@@ -1,0 +1,186 @@
+"""Weighted Lloyd's algorithm with k-means++ initialisation.
+
+This is the ``kmeans(S', w, k)`` primitive invoked by the edge server in
+Algorithms 1–4 of the paper, and (with multiple restarts on the full dataset)
+the reference solver that produces the optimal-cost denominator
+``cost(P, X*)`` used by the normalized-cost metric of Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.kmeans.cost import assign_to_centers, cluster_means, weighted_kmeans_cost
+from repro.kmeans.seeding import kmeans_plus_plus
+from repro.utils.random import SeedLike, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_matrix,
+    check_positive_int,
+    check_weights,
+)
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a (weighted) k-means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` array of cluster centers.
+    labels:
+        Assignment of each input point to a center.
+    cost:
+        Weighted k-means cost of ``centers`` on the input (without any
+        coreset Δ shift).
+    iterations:
+        Number of Lloyd iterations executed by the best restart.
+    converged:
+        Whether the best restart reached the convergence tolerance before
+        hitting ``max_iterations``.
+    restarts:
+        Number of independent initialisations tried.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    cost: float
+    iterations: int
+    converged: bool
+    restarts: int = 1
+
+    @property
+    def k(self) -> int:
+        return int(self.centers.shape[0])
+
+
+@dataclass
+class WeightedKMeans:
+    """Weighted Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    n_init:
+        Number of independent k-means++ initialisations; the best (lowest
+        cost) run is returned.
+    max_iterations:
+        Maximum Lloyd iterations per restart.
+    tolerance:
+        Relative decrease in cost below which a restart is declared
+        converged.
+    seed:
+        RNG seed or generator shared across restarts.
+    """
+
+    k: int
+    n_init: int = 5
+    max_iterations: int = 100
+    tolerance: float = 1e-6
+    seed: SeedLike = None
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.k = check_positive_int(self.k, "k")
+        self.n_init = check_positive_int(self.n_init, "n_init")
+        self.max_iterations = check_positive_int(self.max_iterations, "max_iterations")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {self.tolerance}")
+        self._rng = as_generator(self.seed)
+
+    # ------------------------------------------------------------------ API
+    def fit(
+        self,
+        points: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> KMeansResult:
+        """Run weighted k-means and return the best result over restarts."""
+        points = check_matrix(points, "points")
+        weights = check_weights(weights, points.shape[0])
+        if np.all(weights == 0):
+            raise ValueError("all weights are zero; cannot cluster")
+
+        best: Optional[KMeansResult] = None
+        for rng in spawn_generators(self._rng, self.n_init):
+            result = self._single_run(points, weights, rng)
+            if best is None or result.cost < best.cost:
+                best = result
+        best.restarts = self.n_init
+        return best
+
+    def fit_predict(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Convenience wrapper returning only the labels."""
+        return self.fit(points, weights).labels
+
+    # ------------------------------------------------------------ internals
+    def _single_run(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+    ) -> KMeansResult:
+        k = min(self.k, points.shape[0])
+        centers = kmeans_plus_plus(points, k, weights=weights, seed=rng)
+        previous_cost = np.inf
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        converged = False
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            labels, _ = assign_to_centers(points, centers)
+            new_centers = cluster_means(points, labels, k, weights)
+            # Re-seed empty clusters at the point farthest from its center to
+            # keep exactly k distinct centers whenever possible.
+            occupied = np.bincount(labels, weights=weights, minlength=k) > 0
+            if not occupied.all():
+                _, d2 = assign_to_centers(points, new_centers[occupied])
+                farthest = np.argsort(d2)[::-1]
+                refill = np.flatnonzero(~occupied)
+                for slot, idx in zip(refill, farthest):
+                    new_centers[slot] = points[idx]
+            centers = new_centers
+            cost = weighted_kmeans_cost(points, centers, weights)
+            if previous_cost - cost <= self.tolerance * max(previous_cost, 1e-300):
+                converged = True
+                previous_cost = cost
+                break
+            previous_cost = cost
+
+        final_cost = weighted_kmeans_cost(points, centers, weights)
+        labels, _ = assign_to_centers(points, centers)
+        if k < self.k:
+            # Pad with copies of existing centers so downstream code always
+            # sees exactly self.k rows.
+            pad = np.repeat(centers[[0]], self.k - k, axis=0)
+            centers = np.vstack([centers, pad])
+        return KMeansResult(
+            centers=centers,
+            labels=labels,
+            cost=float(final_cost),
+            iterations=iteration,
+            converged=converged,
+        )
+
+
+def solve_reference_kmeans(
+    points: np.ndarray,
+    k: int,
+    n_init: int = 10,
+    max_iterations: int = 200,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """Compute the reference (near-optimal) centers ``X*`` on the full data.
+
+    The paper normalizes every reported k-means cost by ``cost(P, X*)`` where
+    ``X*`` is computed from ``P`` directly.  Exact k-means is NP-hard, so as
+    in the paper's experiments we use a strong conventional solver: many
+    k-means++ restarts of Lloyd's algorithm.
+    """
+    solver = WeightedKMeans(
+        k=k, n_init=n_init, max_iterations=max_iterations, seed=seed
+    )
+    return solver.fit(points)

@@ -1,0 +1,122 @@
+"""Seeding strategies for k-means: k-means++ and D²-sampling.
+
+k-means++ provides an ``O(log k)``-approximate initialisation in expectation
+and is used by the weighted Lloyd solver.  Plain D²-sampling (sampling
+proportional to the current squared distance without updating the running
+minimum per chosen point) is exposed separately because the bicriteria
+approximation of Aggarwal–Deshpande–Kannan (paper reference [36]/[42])
+repeatedly draws batches with it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.linalg import pairwise_squared_distances
+from repro.utils.random import SeedLike, as_generator
+from repro.utils.validation import check_matrix, check_positive_int, check_weights
+
+
+def _weighted_choice(rng: np.random.Generator, probabilities: np.ndarray) -> int:
+    """Draw one index according to ``probabilities`` (assumed to sum to 1)."""
+    return int(rng.choice(probabilities.shape[0], p=probabilities))
+
+
+def kmeans_plus_plus(
+    points: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """k-means++ seeding on a weighted point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    k:
+        Number of centers to select (capped at ``n``).
+    weights:
+        Optional non-negative point weights; the selection probability of a
+        point is proportional to ``weight * D(point)^2``.
+    seed:
+        RNG seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, d)`` array of selected centers (actual data points).
+    """
+    points = check_matrix(points, "points")
+    k = check_positive_int(k, "k")
+    n = points.shape[0]
+    weights = check_weights(weights, n)
+    rng = as_generator(seed)
+    k = min(k, n)
+
+    total_weight = weights.sum()
+    if total_weight <= 0:
+        raise ValueError("weights must contain at least one positive entry")
+
+    first = _weighted_choice(rng, weights / total_weight)
+    chosen = [first]
+    closest = pairwise_squared_distances(points, points[[first]]).ravel()
+
+    for _ in range(1, k):
+        scores = weights * closest
+        total = scores.sum()
+        if total <= 0:
+            # All remaining mass is on already-covered points; pick uniformly
+            # among not-yet-chosen indices to keep centers distinct if possible.
+            remaining = np.setdiff1d(np.arange(n), np.asarray(chosen))
+            pick = int(rng.choice(remaining)) if remaining.size else int(rng.integers(n))
+        else:
+            pick = _weighted_choice(rng, scores / total)
+        chosen.append(pick)
+        new_d = pairwise_squared_distances(points, points[[pick]]).ravel()
+        np.minimum(closest, new_d, out=closest)
+
+    return points[np.asarray(chosen, dtype=int)].copy()
+
+
+def d2_sampling(
+    points: np.ndarray,
+    current_centers: Optional[np.ndarray],
+    batch_size: int,
+    weights: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw a batch of points with probability proportional to weighted D².
+
+    Used by the adaptive-sampling bicriteria algorithm: given the centers
+    selected so far, each point is sampled with probability proportional to
+    its weighted squared distance to the nearest current center (uniformly by
+    weight if no centers have been selected yet).
+
+    Returns
+    -------
+    (indices, sampled_points):
+        Indices into ``points`` (with replacement) and the corresponding rows.
+    """
+    points = check_matrix(points, "points")
+    batch_size = check_positive_int(batch_size, "batch_size")
+    n = points.shape[0]
+    weights = check_weights(weights, n)
+    rng = as_generator(seed)
+
+    if current_centers is None or len(current_centers) == 0:
+        scores = weights.copy()
+    else:
+        centers = check_matrix(current_centers, "current_centers")
+        closest = pairwise_squared_distances(points, centers).min(axis=1)
+        scores = weights * closest
+
+    total = scores.sum()
+    if total <= 0:
+        probabilities = weights / weights.sum()
+    else:
+        probabilities = scores / total
+    indices = rng.choice(n, size=batch_size, replace=True, p=probabilities)
+    return indices, points[indices].copy()

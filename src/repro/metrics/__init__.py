@@ -1,0 +1,34 @@
+"""Metrics and the Monte-Carlo experiment harness.
+
+Implements the three performance metrics of Section 7.1 —
+
+* normalized k-means cost ``cost(P, X)/cost(P, X*)``,
+* normalized communication cost (bits transmitted / bits of the raw data),
+* running time at the data source(s),
+
+— and a small experiment harness (:class:`ExperimentRunner`) that repeats a
+set of pipelines for several Monte-Carlo runs, producing the per-run samples
+from which the paper's CDF figures and summary tables are built.
+"""
+
+from repro.metrics.evaluation import (
+    EvaluationContext,
+    PipelineEvaluation,
+    evaluate_report,
+)
+from repro.metrics.experiment import (
+    ExperimentRunner,
+    ExperimentResult,
+    AlgorithmSummary,
+    empirical_cdf,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "PipelineEvaluation",
+    "evaluate_report",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "AlgorithmSummary",
+    "empirical_cdf",
+]

@@ -1,0 +1,102 @@
+"""Evaluation of pipeline outputs against the original dataset.
+
+The reference centers ``X*`` (the denominator of the normalized cost) are
+computed once per dataset by a strong conventional solver and shared across
+all evaluated algorithms, mirroring Section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.report import PipelineReport
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.lloyd import solve_reference_kmeans
+from repro.utils.random import SeedLike
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+@dataclass
+class EvaluationContext:
+    """The fixed quantities every algorithm is judged against.
+
+    Attributes
+    ----------
+    points:
+        The full original dataset P (union of shards in the multi-source
+        case).
+    reference_centers:
+        The near-optimal centers X* computed directly from P.
+    reference_cost:
+        ``cost(P, X*)``.
+    """
+
+    points: np.ndarray
+    reference_centers: np.ndarray
+    reference_cost: float
+
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        k: int,
+        n_init: int = 10,
+        seed: SeedLike = None,
+    ) -> "EvaluationContext":
+        """Compute the reference solution for a dataset."""
+        points = check_matrix(points, "points")
+        check_positive_int(k, "k")
+        reference = solve_reference_kmeans(points, k, n_init=n_init, seed=seed)
+        return cls(
+            points=points,
+            reference_centers=reference.centers,
+            reference_cost=float(reference.cost),
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.points.shape[1])
+
+
+@dataclass
+class PipelineEvaluation:
+    """One evaluated pipeline run: the paper's three metrics plus extras."""
+
+    algorithm: str
+    normalized_cost: float
+    normalized_communication: float
+    communication_scalars: int
+    communication_bits: int
+    source_seconds: float
+    server_seconds: float
+    summary_cardinality: int
+    summary_dimension: int
+    quantizer_bits: Optional[int] = None
+
+
+def evaluate_report(report: PipelineReport, context: EvaluationContext) -> PipelineEvaluation:
+    """Score a pipeline report against the evaluation context."""
+    cost = kmeans_cost(context.points, report.centers)
+    if context.reference_cost <= 0:
+        normalized = 1.0 if cost <= 0 else float("inf")
+    else:
+        normalized = cost / context.reference_cost
+    return PipelineEvaluation(
+        algorithm=report.algorithm,
+        normalized_cost=float(normalized),
+        normalized_communication=report.normalized_communication(context.n, context.d),
+        communication_scalars=report.communication_scalars,
+        communication_bits=report.communication_bits,
+        source_seconds=report.source_seconds,
+        server_seconds=report.server_seconds,
+        summary_cardinality=report.summary_cardinality,
+        summary_dimension=report.summary_dimension,
+        quantizer_bits=report.quantizer_bits,
+    )

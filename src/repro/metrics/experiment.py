@@ -1,0 +1,180 @@
+"""Monte-Carlo experiment harness.
+
+The paper repeats every measurement over 10 Monte-Carlo runs (Section 7.1)
+and reports CDFs of the per-run normalized cost and running time, plus
+tables of normalized communication.  :class:`ExperimentRunner` reproduces
+that workflow for any set of pipelines, in both the single-source and the
+multi-source setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipelines import SingleSourcePipeline
+from repro.core.distributed_pipelines import MultiSourcePipeline
+from repro.distributed.partition import partition_dataset
+from repro.metrics.evaluation import (
+    EvaluationContext,
+    PipelineEvaluation,
+    evaluate_report,
+)
+from repro.utils.random import SeedLike, as_generator, derive_seed, spawn_generators
+from repro.utils.validation import check_matrix, check_positive_int
+
+#: A factory that builds a fresh pipeline for one Monte-Carlo run, given the
+#: run's seed.  Fresh construction per run keeps runs statistically
+#: independent while remaining reproducible.
+PipelineFactory = Callable[[int], object]
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregate statistics of one algorithm over all Monte-Carlo runs."""
+
+    algorithm: str
+    mean_normalized_cost: float
+    max_normalized_cost: float
+    mean_normalized_communication: float
+    mean_source_seconds: float
+    runs: int
+
+    @classmethod
+    def from_evaluations(cls, evaluations: Sequence[PipelineEvaluation]) -> "AlgorithmSummary":
+        if not evaluations:
+            raise ValueError("cannot summarize zero evaluations")
+        costs = np.array([e.normalized_cost for e in evaluations])
+        comms = np.array([e.normalized_communication for e in evaluations])
+        times = np.array([e.source_seconds for e in evaluations])
+        return cls(
+            algorithm=evaluations[0].algorithm,
+            mean_normalized_cost=float(costs.mean()),
+            max_normalized_cost=float(costs.max()),
+            mean_normalized_communication=float(comms.mean()),
+            mean_source_seconds=float(times.mean()),
+            runs=len(evaluations),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All per-run evaluations of one experiment, keyed by algorithm label."""
+
+    evaluations: Dict[str, List[PipelineEvaluation]] = field(default_factory=dict)
+
+    def add(self, label: str, evaluation: PipelineEvaluation) -> None:
+        self.evaluations.setdefault(label, []).append(evaluation)
+
+    def summary(self) -> Dict[str, AlgorithmSummary]:
+        return {
+            label: AlgorithmSummary.from_evaluations(evals)
+            for label, evals in self.evaluations.items()
+        }
+
+    def metric_samples(self, label: str, metric: str) -> np.ndarray:
+        """Per-run samples of one metric for one algorithm (CDF material)."""
+        evals = self.evaluations.get(label)
+        if not evals:
+            raise KeyError(f"no evaluations recorded for {label!r}")
+        return np.array([getattr(e, metric) for e in evals], dtype=float)
+
+    def table(self, metric: str) -> Dict[str, float]:
+        """Mean of one metric per algorithm (the paper's table format)."""
+        return {
+            label: float(np.mean([getattr(e, metric) for e in evals]))
+            for label, evals in self.evaluations.items()
+        }
+
+
+def empirical_cdf(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample vector: returns ``(sorted values, F)``."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("cannot compute the CDF of an empty sample")
+    values = np.sort(samples)
+    fractions = np.arange(1, values.size + 1) / values.size
+    return values, fractions
+
+
+class ExperimentRunner:
+    """Repeats a set of pipelines for several Monte-Carlo runs.
+
+    Parameters
+    ----------
+    points:
+        The full dataset P.
+    k:
+        Number of clusters.
+    monte_carlo_runs:
+        Number of independent repetitions (the paper uses 10).
+    seed:
+        Master seed; run seeds and the reference solver's seed derive from it.
+    reference_n_init:
+        Restarts used for the reference centers X*.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        k: int,
+        monte_carlo_runs: int = 10,
+        seed: SeedLike = None,
+        reference_n_init: int = 10,
+    ) -> None:
+        self.points = check_matrix(points, "points")
+        self.k = check_positive_int(k, "k")
+        self.monte_carlo_runs = check_positive_int(monte_carlo_runs, "monte_carlo_runs")
+        self._rng = as_generator(seed)
+        self.context = EvaluationContext.build(
+            self.points, self.k, n_init=reference_n_init, seed=derive_seed(self._rng)
+        )
+        self._run_seeds = [derive_seed(rng) for rng in spawn_generators(self._rng, monte_carlo_runs)]
+
+    # ------------------------------------------------------------------ API
+    def run_single_source(
+        self, factories: Dict[str, PipelineFactory]
+    ) -> ExperimentResult:
+        """Run single-source pipelines: every factory is called once per
+        Monte-Carlo run with that run's seed."""
+        result = ExperimentResult()
+        for run_seed in self._run_seeds:
+            for label, factory in factories.items():
+                pipeline = factory(run_seed)
+                if not isinstance(pipeline, SingleSourcePipeline):
+                    raise TypeError(
+                        f"factory {label!r} must build a SingleSourcePipeline"
+                    )
+                report = pipeline.run(self.points)
+                result.add(label, evaluate_report(report, self.context))
+        return result
+
+    def run_multi_source(
+        self,
+        factories: Dict[str, PipelineFactory],
+        num_sources: int,
+        strategy: str = "random",
+    ) -> ExperimentResult:
+        """Run multi-source pipelines over a fresh random partition per run.
+
+        The same partition is shared by all algorithms within a run so the
+        comparison is paired, as in the paper.
+        """
+        check_positive_int(num_sources, "num_sources")
+        result = ExperimentResult()
+        for run_seed in self._run_seeds:
+            indices = partition_dataset(
+                self.points, num_sources, strategy=strategy, seed=run_seed
+            )
+            shards = [self.points[idx] for idx in indices]
+            for label, factory in factories.items():
+                pipeline = factory(run_seed)
+                if not isinstance(pipeline, MultiSourcePipeline):
+                    raise TypeError(
+                        f"factory {label!r} must build a MultiSourcePipeline"
+                    )
+                report = pipeline.run(shards)
+                result.add(label, evaluate_report(report, self.context))
+        return result

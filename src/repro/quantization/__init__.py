@@ -1,0 +1,29 @@
+"""Quantization (QT): precision reduction for transmitted data summaries.
+
+Section 6 of the paper: after DR and CR have shrunk the dimensionality and
+cardinality of the summary, a rounding-based quantizer shrinks the *precision*
+of each scalar — keeping only ``s`` significant (mantissa) bits — which
+reduces the number of bits on the wire without changing the number of
+scalars.  The quantization error per point is bounded by
+``Δ_QT ≤ 2^{-s} · max_p ‖p‖`` (Eq. 14), which Theorem 6.1 converts into an
+additive term in the approximation error.
+"""
+
+from repro.quantization.rounding import RoundingQuantizer, IdentityQuantizer
+from repro.quantization.bits import (
+    DOUBLE_PRECISION_BITS,
+    DOUBLE_EXPONENT_BITS,
+    DOUBLE_SIGNIFICAND_BITS,
+    bits_per_scalar,
+    scalars_to_bits,
+)
+
+__all__ = [
+    "RoundingQuantizer",
+    "IdentityQuantizer",
+    "DOUBLE_PRECISION_BITS",
+    "DOUBLE_EXPONENT_BITS",
+    "DOUBLE_SIGNIFICAND_BITS",
+    "bits_per_scalar",
+    "scalars_to_bits",
+]

@@ -1,0 +1,37 @@
+"""Bit-level accounting for quantized transmissions.
+
+The paper assumes IEEE-754 double precision for unquantized data: 64 bits per
+scalar = 1 sign bit + 11 exponent bits + 52 stored significand bits (53
+significant bits counting the implicit leading 1).  A rounding quantizer that
+keeps ``s`` significant bits transmits ``1 + 11 + s`` bits per scalar.
+"""
+
+from __future__ import annotations
+
+DOUBLE_PRECISION_BITS = 64
+DOUBLE_EXPONENT_BITS = 11
+DOUBLE_SIGN_BITS = 1
+#: Significant bits of a double including the implicit leading one.
+DOUBLE_SIGNIFICAND_BITS = 53
+
+
+def bits_per_scalar(significant_bits: int | None = None) -> int:
+    """Bits required to transmit one scalar.
+
+    ``significant_bits=None`` (or 53) means full double precision; otherwise
+    sign + exponent + the retained significand bits.
+    """
+    if significant_bits is None or significant_bits >= DOUBLE_SIGNIFICAND_BITS:
+        return DOUBLE_PRECISION_BITS
+    if significant_bits < 1:
+        raise ValueError(
+            f"significant_bits must be >= 1, got {significant_bits}"
+        )
+    return DOUBLE_SIGN_BITS + DOUBLE_EXPONENT_BITS + int(significant_bits)
+
+
+def scalars_to_bits(scalars: int, significant_bits: int | None = None) -> int:
+    """Total bits to transmit ``scalars`` values at the given precision."""
+    if scalars < 0:
+        raise ValueError(f"scalars must be non-negative, got {scalars}")
+    return int(scalars) * bits_per_scalar(significant_bits)

@@ -1,0 +1,128 @@
+"""Linear-algebra helpers shared by the DR, CR, and distributed subsystems.
+
+These wrap :mod:`numpy.linalg` with the conventions used throughout the
+paper: datasets are row-major matrices ``A_P`` of shape ``(n, d)`` (one data
+point per row), and projections are applied as ``A_P @ Pi`` for a projection
+matrix ``Pi`` of shape ``(d, d')``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.random import SeedLike, as_generator
+
+
+def squared_norms(points: np.ndarray) -> np.ndarray:
+    """Row-wise squared Euclidean norms of a ``(n, d)`` matrix."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points[None, :]
+    return np.einsum("ij,ij->i", points, points)
+
+
+def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
+
+    Returns a matrix of shape ``(len(a), len(b))``.  Uses the expansion
+    ``|x - y|^2 = |x|^2 - 2 x.y + |y|^2`` and clips tiny negative values
+    produced by floating-point cancellation.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
+        )
+    cross = a @ b.T
+    d2 = squared_norms(a)[:, None] - 2.0 * cross + squared_norms(b)[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def safe_svd(matrix: np.ndarray, full_matrices: bool = False) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD with a fallback for the rare LAPACK non-convergence case.
+
+    Returns ``(U, s, Vt)`` such that ``matrix ≈ U @ diag(s) @ Vt``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    try:
+        return np.linalg.svd(matrix, full_matrices=full_matrices)
+    except np.linalg.LinAlgError:
+        # Jitter the matrix very slightly; gesdd occasionally fails on
+        # rank-deficient inputs where gesvd-style perturbation succeeds.
+        jitter = 1e-12 * np.linalg.norm(matrix, ord="fro")
+        perturbed = matrix + jitter * np.eye(*matrix.shape[:2], M=matrix.shape[1])[: matrix.shape[0]]
+        return np.linalg.svd(perturbed, full_matrices=full_matrices)
+
+
+def randomized_svd(
+    matrix: np.ndarray,
+    rank: int,
+    oversample: int = 10,
+    power_iterations: int = 2,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized truncated SVD (Halko–Martinsson–Tropp sketch-and-solve).
+
+    Used by the approximate-PCA path of FSS when the exact SVD would be the
+    complexity bottleneck.  Returns ``(U, s, Vt)`` with ``rank`` components.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n, d = matrix.shape
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    target = min(rank + oversample, min(n, d))
+    rng = as_generator(seed)
+
+    sketch = rng.standard_normal((d, target))
+    sample = matrix @ sketch
+    for _ in range(power_iterations):
+        sample = matrix @ (matrix.T @ sample)
+    q, _ = np.linalg.qr(sample)
+    small = q.T @ matrix
+    u_small, s, vt = safe_svd(small, full_matrices=False)
+    u = q @ u_small
+    keep = min(rank, s.shape[0])
+    return u[:, :keep], s[:keep], vt[:keep, :]
+
+
+def moore_penrose_inverse(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Moore–Penrose pseudo-inverse, used to lift centers back through a
+    (non-invertible) linear DR map as described in Section 3.1 of the paper."""
+    return np.linalg.pinv(np.asarray(matrix, dtype=float), rcond=rcond)
+
+
+def project_onto_top_singular_subspace(
+    matrix: np.ndarray, rank: int, seed: SeedLike = None, approximate: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project rows of ``matrix`` onto the span of its top ``rank`` right
+    singular vectors.
+
+    Returns ``(projected, basis)`` where ``basis`` has shape ``(d, rank)`` and
+    ``projected = matrix @ basis @ basis.T`` (still expressed in the original
+    d-dimensional coordinates, as FSS requires).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    rank = int(min(rank, min(matrix.shape)))
+    if approximate:
+        _, _, vt = randomized_svd(matrix, rank, seed=seed)
+    else:
+        _, _, vt = safe_svd(matrix, full_matrices=False)
+        vt = vt[:rank]
+    basis = vt.T
+    projected = matrix @ basis @ basis.T
+    return projected, basis
+
+
+def frobenius_tail_energy(matrix: np.ndarray, rank: int) -> float:
+    """Sum of squared singular values beyond ``rank`` — the constant Δ that
+    FSS adds to the coreset cost (Definition 3.2)."""
+    s = np.linalg.svd(np.asarray(matrix, dtype=float), compute_uv=False)
+    if rank >= s.shape[0]:
+        return 0.0
+    tail = s[rank:]
+    return float(np.sum(tail**2))

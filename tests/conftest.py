@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Datasets are deliberately small so that the full suite remains fast; the
+paper-scale configurations are exercised by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_mixture
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Well-separated 4-cluster Gaussian mixture in 20 dimensions."""
+    points, labels, centers = make_gaussian_mixture(
+        n=400, d=20, k=4, separation=8.0, cluster_std=0.5, seed=7
+    )
+    return points, labels, centers
+
+
+@pytest.fixture(scope="session")
+def blob_points(blobs) -> np.ndarray:
+    return blobs[0]
+
+
+@pytest.fixture(scope="session")
+def high_dim_blobs():
+    """Higher-dimensional mixture where DR is actually meaningful."""
+    points, labels, centers = make_gaussian_mixture(
+        n=500, d=120, k=3, separation=10.0, cluster_std=1.0, seed=11
+    )
+    return points, labels, centers
+
+
+@pytest.fixture(scope="session")
+def high_dim_points(high_dim_blobs) -> np.ndarray:
+    return high_dim_blobs[0]
+
+
+@pytest.fixture()
+def tiny_points() -> np.ndarray:
+    """A fixed tiny dataset for exact, hand-checkable assertions."""
+    return np.array(
+        [
+            [0.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 0.0],
+            [10.0, 10.0],
+            [10.0, 11.0],
+            [11.0, 10.0],
+        ]
+    )

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main, run
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "mnist"
+        assert args.algorithm == "jl-fss-jl"
+        assert args.k == 2
+        assert args.runs == 1
+
+    def test_all_algorithms_accepted(self):
+        parser = build_parser()
+        for name in ALGORITHMS:
+            args = parser.parse_args(["--algorithm", name])
+            assert args.algorithm == name
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithm", "quantum"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+
+class TestRun:
+    def test_single_source_run(self, capsys):
+        args = build_parser().parse_args([
+            "--dataset", "mnist", "--n", "300", "--d", "64",
+            "--algorithm", "jl-fss", "--coreset-size", "60", "--runs", "1",
+            "--seed", "3",
+        ])
+        row = run(args)
+        captured = capsys.readouterr().out
+        assert "normalized k-means cost" in captured
+        assert row["normalized_cost"] > 0
+        assert 0 < row["normalized_communication"] < 1
+
+    def test_multi_source_run(self, capsys):
+        args = build_parser().parse_args([
+            "--dataset", "neurips", "--n", "240", "--d", "120",
+            "--algorithm", "bklw", "--sources", "3", "--total-samples", "40",
+            "--pca-rank", "5", "--runs", "1", "--seed", "4",
+        ])
+        row = run(args)
+        assert row["normalized_cost"] > 0
+        assert "normalized communication" in capsys.readouterr().out
+
+    def test_quantized_run(self):
+        args = build_parser().parse_args([
+            "--dataset", "mnist", "--n", "300", "--d", "64",
+            "--algorithm", "jl-fss-jl", "--coreset-size", "60",
+            "--quantize-bits", "8", "--seed", "5",
+        ])
+        row = run(args)
+        assert row["normalized_communication"] < 1
+
+    def test_main_returns_zero(self):
+        assert main([
+            "--dataset", "mnist", "--n", "200", "--d", "49",
+            "--algorithm", "nr", "--runs", "1", "--seed", "6",
+        ]) == 0

@@ -1,0 +1,127 @@
+"""Tests for repro.core.configuration — the Section 6.3 optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import (
+    QuantizerConfiguration,
+    approximation_error_bound,
+    communication_cost_model,
+    configure_joint_reduction,
+    estimate_optimal_cost_lower_bound,
+    fss_cardinality_model,
+    jl_dimension_model,
+)
+from repro.kmeans.lloyd import solve_reference_kmeans
+
+
+class TestErrorBound:
+    def test_reduces_to_multiplicative_bound_without_qt(self):
+        eps = 0.1
+        expected = (1 + eps) ** 9 / (1 - eps)
+        assert approximation_error_bound(eps, 0.0) == pytest.approx(expected)
+
+    def test_monotone_in_epsilon_and_qt(self):
+        assert approximation_error_bound(0.2, 0.0) > approximation_error_bound(0.1, 0.0)
+        assert approximation_error_bound(0.1, 0.5) > approximation_error_bound(0.1, 0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            approximation_error_bound(0.0, 0.1)
+        with pytest.raises(ValueError):
+            approximation_error_bound(0.1, -0.1)
+
+
+class TestCostModels:
+    def test_cardinality_model_monotone(self):
+        assert fss_cardinality_model(4, 0.2, 0.1) > fss_cardinality_model(2, 0.2, 0.1)
+        assert fss_cardinality_model(2, 0.1, 0.1) > fss_cardinality_model(2, 0.3, 0.1)
+
+    def test_dimension_model_monotone(self):
+        assert jl_dimension_model(1000, 2, 0.1, 0.1) > jl_dimension_model(1000, 2, 0.3, 0.1)
+
+    def test_communication_model_paper_constants(self):
+        bits, n_prime, d_prime = communication_cost_model(
+            n=10_000, d=784, k=2, epsilon=0.3, epsilon_qt=0.1, delta=0.05,
+            significant_bits=10,
+        )
+        assert bits == pytest.approx(n_prime * d_prime * 22)
+
+    def test_communication_model_empirical_geometry(self):
+        bits, n_prime, d_prime = communication_cost_model(
+            n=10_000, d=784, k=2, epsilon=0.3, epsilon_qt=0.1, delta=0.05,
+            significant_bits=4, use_paper_constants=False,
+            coreset_cardinality=400, coreset_dimension=30,
+        )
+        assert (n_prime, d_prime) == (400, 30)
+        assert bits == pytest.approx(400 * 30 * 16)
+
+    def test_empirical_geometry_requires_sizes(self):
+        with pytest.raises(ValueError):
+            communication_cost_model(
+                n=100, d=10, k=2, epsilon=0.2, epsilon_qt=0.0, delta=0.1,
+                significant_bits=4, use_paper_constants=False,
+            )
+
+
+class TestLowerBound:
+    def test_lower_bound_below_optimal(self, blobs):
+        points, _, _ = blobs
+        reference = solve_reference_kmeans(points, 4, n_init=5, seed=0)
+        bound = estimate_optimal_cost_lower_bound(points, 4, seed=1)
+        assert 0 < bound <= reference.cost + 1e-9
+
+
+class TestConfigureJointReduction:
+    def test_returns_feasible_configuration(self):
+        config = configure_joint_reduction(
+            n=5000, d=784, k=2, error_bound=2.0,
+            optimal_cost_lower_bound=100.0, max_norm=1.5,
+        )
+        assert isinstance(config, QuantizerConfiguration)
+        assert 1 <= config.significant_bits <= 52
+        assert config.predicted_error <= 2.0 + 1e-9
+        assert config.predicted_communication > 0
+
+    def test_tighter_bound_needs_more_bits(self):
+        loose = configure_joint_reduction(
+            n=5000, d=784, k=2, error_bound=3.0,
+            optimal_cost_lower_bound=50.0, max_norm=1.5,
+        )
+        tight = configure_joint_reduction(
+            n=5000, d=784, k=2, error_bound=1.3,
+            optimal_cost_lower_bound=50.0, max_norm=1.5,
+        )
+        assert tight.significant_bits >= loose.significant_bits
+        assert tight.epsilon <= loose.epsilon + 1e-12
+
+    def test_empirical_geometry_configuration(self):
+        config = configure_joint_reduction(
+            n=5000, d=784, k=2, error_bound=1.5,
+            optimal_cost_lower_bound=200.0, max_norm=1.0,
+            use_paper_constants=False,
+            coreset_cardinality=400, coreset_dimension=40,
+        )
+        assert config.coreset_cardinality == 400
+        assert config.coreset_dimension == 40
+
+    def test_infeasible_bound_raises(self):
+        with pytest.raises(ValueError):
+            configure_joint_reduction(
+                n=10**6, d=784, k=2, error_bound=1.0001,
+                optimal_cost_lower_bound=1e-6, max_norm=10.0,
+            )
+
+    def test_error_bound_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            configure_joint_reduction(
+                n=100, d=10, k=2, error_bound=1.0, optimal_cost_lower_bound=1.0
+            )
+
+    def test_custom_grid_respected(self):
+        config = configure_joint_reduction(
+            n=5000, d=784, k=2, error_bound=2.0,
+            optimal_cost_lower_bound=100.0, max_norm=1.5,
+            significant_bits_grid=[20, 30],
+        )
+        assert config.significant_bits in (20, 30)

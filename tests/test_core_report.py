@@ -1,0 +1,38 @@
+"""Tests for repro.core.report."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import PipelineReport
+
+
+def _report(**overrides):
+    defaults = dict(
+        algorithm="test",
+        centers=np.zeros((2, 3)),
+        communication_scalars=100,
+        communication_bits=6400,
+        source_seconds=0.5,
+        server_seconds=0.1,
+    )
+    defaults.update(overrides)
+    return PipelineReport(**defaults)
+
+
+class TestPipelineReport:
+    def test_normalized_communication_full_precision(self):
+        report = _report()
+        # raw bits = 64 * 10 * 10 = 6400 -> ratio 1.0
+        assert report.normalized_communication(10, 10) == pytest.approx(1.0)
+
+    def test_normalized_communication_quantized(self):
+        report = _report(communication_bits=3200)
+        assert report.normalized_communication(10, 10) == pytest.approx(0.5)
+
+    def test_invalid_dataset_size(self):
+        with pytest.raises(ValueError):
+            _report().normalized_communication(0, 10)
+
+    def test_with_detail_merges(self):
+        report = _report().with_detail(alpha=1.0).with_detail(beta=2)
+        assert report.details == {"alpha": 1.0, "beta": 2.0}

@@ -1,0 +1,58 @@
+"""Tests for repro.core.theory — the Table 2 scaling expressions."""
+
+import pytest
+
+from repro.core.theory import THEORY_TABLE_ROWS, scaling_table, theoretical_costs
+
+
+class TestTheoreticalCosts:
+    def test_all_rows_evaluate(self):
+        table = scaling_table(n=60_000, d=784, k=2, epsilon=0.2, m=10)
+        assert set(table) == set(THEORY_TABLE_ROWS)
+        for costs in table.values():
+            assert costs.communication > 0
+            assert costs.complexity > 0
+
+    def test_jl_fss_communication_logarithmic_in_n(self):
+        small = theoretical_costs("JL+FSS", n=10**4, d=784, k=2, epsilon=0.2)
+        large = theoretical_costs("JL+FSS", n=10**8, d=784, k=2, epsilon=0.2)
+        # n grows by 10^4, communication only by the log ratio (factor 2).
+        assert large.communication / small.communication < 3.0
+
+    def test_fss_communication_linear_in_d(self):
+        small = theoretical_costs("FSS", n=10**4, d=100, k=2, epsilon=0.2)
+        large = theoretical_costs("FSS", n=10**4, d=10_000, k=2, epsilon=0.2)
+        assert large.communication / small.communication == pytest.approx(100.0)
+
+    def test_alg3_combines_best_of_both(self):
+        n, d, k, eps = 10**5, 5000, 2, 0.2
+        alg1 = theoretical_costs("JL+FSS", n, d, k, eps)
+        alg2 = theoretical_costs("FSS+JL", n, d, k, eps)
+        alg3 = theoretical_costs("JL+FSS+JL", n, d, k, eps)
+        assert alg3.communication == pytest.approx(alg2.communication)
+        assert alg3.complexity == pytest.approx(alg1.complexity)
+
+    def test_alg1_complexity_near_linear_vs_fss_superlinear(self):
+        n, d, k, eps = 10**5, 5000, 2, 0.2
+        fss = theoretical_costs("FSS", n, d, k, eps)
+        alg1 = theoretical_costs("JL+FSS", n, d, k, eps)
+        assert alg1.complexity < fss.complexity
+
+    def test_jl_bklw_beats_bklw_in_communication_for_large_d(self):
+        bklw = theoretical_costs("BKLW", n=10**5, d=10**4, k=2, epsilon=0.2, m=10)
+        alg4 = theoretical_costs("JL+BKLW", n=10**5, d=10**4, k=2, epsilon=0.2, m=10)
+        assert alg4.communication < bklw.communication
+
+    def test_nr_reference(self):
+        nr = theoretical_costs("NR", n=100, d=10, k=2, epsilon=0.2)
+        assert nr.communication == 1000
+        assert nr.complexity == 0.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            theoretical_costs("quantum-kmeans", 10, 10, 2, 0.2)
+
+    def test_alias_names(self):
+        a = theoretical_costs("Alg1", 1000, 100, 2, 0.2)
+        b = theoretical_costs("JL+FSS", 1000, 100, 2, 0.2)
+        assert a.communication == b.communication

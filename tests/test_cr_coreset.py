@@ -1,0 +1,111 @@
+"""Tests for repro.cr.coreset — the (S, Δ, w) data structure."""
+
+import numpy as np
+import pytest
+
+from repro.cr.coreset import Coreset, merge_coresets
+from repro.dr.jl import JLProjection
+from repro.kmeans.cost import weighted_kmeans_cost
+from repro.quantization.rounding import RoundingQuantizer
+
+
+def _simple_coreset():
+    points = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+    weights = np.array([1.0, 2.0, 3.0])
+    return Coreset(points, weights, shift=1.5)
+
+
+class TestCoresetBasics:
+    def test_properties(self):
+        c = _simple_coreset()
+        assert c.size == 3
+        assert c.dimension == 2
+        assert c.total_weight == pytest.approx(6.0)
+        assert c.shift == pytest.approx(1.5)
+
+    def test_cost_includes_shift_and_weights(self):
+        c = _simple_coreset()
+        centers = np.array([[0.0, 0.0]])
+        expected = 1.0 * 0 + 2.0 * 4.0 + 3.0 * 4.0 + 1.5
+        assert c.cost(centers) == pytest.approx(expected)
+
+    def test_cost_matches_weighted_cost_helper(self, blob_points):
+        weights = np.linspace(1.0, 2.0, blob_points.shape[0])
+        c = Coreset(blob_points, weights, shift=3.0)
+        centers = blob_points[:4]
+        assert c.cost(centers) == pytest.approx(
+            weighted_kmeans_cost(blob_points, centers, weights, shift=3.0)
+        )
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(np.zeros((2, 2)), np.ones(2), shift=-1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(np.zeros((2, 2)), np.array([1.0, -1.0]))
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(np.zeros((3, 2)), np.ones(2))
+
+
+class TestCoresetTransformations:
+    def test_transform_applies_dr_and_keeps_weights(self):
+        c = _simple_coreset()
+        proj = JLProjection(2, 2, seed=0)
+        transformed = c.transform(proj)
+        assert transformed.size == c.size
+        assert np.allclose(transformed.weights, c.weights)
+        assert transformed.shift == c.shift
+        assert np.allclose(transformed.points, proj.transform(c.points))
+
+    def test_quantize_keeps_weights_and_shift(self):
+        c = _simple_coreset()
+        q = RoundingQuantizer(4)
+        quantized = c.quantize(q)
+        assert quantized.shift == c.shift
+        assert np.allclose(quantized.weights, c.weights)
+        assert np.allclose(quantized.points, q.quantize(c.points))
+
+    def test_merge(self):
+        a = _simple_coreset()
+        b = Coreset(np.array([[5.0, 5.0]]), np.array([4.0]), shift=0.5)
+        merged = a.merged_with(b)
+        assert merged.size == 4
+        assert merged.total_weight == pytest.approx(10.0)
+        assert merged.shift == pytest.approx(2.0)
+
+    def test_merge_dimension_mismatch(self):
+        a = _simple_coreset()
+        b = Coreset(np.zeros((1, 3)), np.ones(1))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_merge_coresets_helper(self):
+        parts = [_simple_coreset() for _ in range(3)]
+        merged = merge_coresets(parts)
+        assert merged.size == 9
+
+    def test_merge_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            merge_coresets([])
+
+
+class TestCoresetAccounting:
+    def test_scalars_to_transmit(self):
+        c = _simple_coreset()
+        # 3 points x 2 dims + 3 weights + 1 shift
+        assert c.scalars_to_transmit() == 10
+        assert c.scalars_to_transmit(include_weights=False) == 7
+
+    def test_empirical_distortion_zero_for_exact_copy(self, blob_points):
+        c = Coreset(blob_points, np.ones(blob_points.shape[0]))
+        centers = blob_points[:3]
+        assert c.empirical_distortion(blob_points, centers) == pytest.approx(0.0)
+
+    def test_empirical_distortion_detects_mismatch(self, blob_points):
+        # A coreset that drops half the mass misestimates the cost.
+        half = Coreset(blob_points[:200], np.ones(200))
+        centers = np.zeros((1, blob_points.shape[1]))
+        assert half.empirical_distortion(blob_points, centers) > 0.1

@@ -1,0 +1,146 @@
+"""Tests for repro.datasets — synthetic generators and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_benchmark_dataset, normalize_dataset
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    make_gaussian_mixture,
+    make_mnist_like,
+    make_neurips_like,
+)
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.lloyd import solve_reference_kmeans
+
+
+class TestNormalization:
+    def test_zero_mean(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(5.0, 10.0, size=(100, 8))
+        normalized = normalize_dataset(x)
+        assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_range_within_unit_box(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-100.0, 100.0, size=(50, 5))
+        normalized = normalize_dataset(x)
+        assert normalized.min() >= -1.0 - 1e-12
+        assert normalized.max() <= 1.0 + 1e-12
+
+    def test_constant_dataset(self):
+        x = np.full((10, 3), 7.0)
+        normalized = normalize_dataset(x)
+        assert np.allclose(normalized, 0.0)
+
+    def test_does_not_mutate_input(self):
+        x = np.ones((5, 2))
+        _ = normalize_dataset(x)
+        assert np.allclose(x, 1.0)
+
+
+class TestGaussianMixture:
+    def test_shapes(self):
+        points, labels, centers = make_gaussian_mixture(200, 10, 4, seed=0)
+        assert points.shape == (200, 10)
+        assert labels.shape == (200,)
+        assert centers.shape == (4, 10)
+
+    def test_labels_in_range(self):
+        _, labels, _ = make_gaussian_mixture(100, 5, 3, seed=1)
+        assert labels.min() >= 0 and labels.max() < 3
+
+    def test_separation_controls_cluster_structure(self):
+        points, labels, centers = make_gaussian_mixture(
+            500, 10, 4, separation=20.0, cluster_std=0.5, seed=2
+        )
+        planted_cost = kmeans_cost(points, centers)
+        single = kmeans_cost(points, points.mean(axis=0, keepdims=True))
+        assert planted_cost < 0.05 * single
+
+    def test_custom_weights(self):
+        _, labels, _ = make_gaussian_mixture(
+            1000, 3, 2, weights=np.array([0.9, 0.1]), seed=3
+        )
+        counts = np.bincount(labels, minlength=2)
+        assert counts[0] > counts[1]
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            make_gaussian_mixture(10, 2, 2, weights=np.array([1.0]), seed=0)
+        with pytest.raises(ValueError):
+            make_gaussian_mixture(10, 2, 2, weights=np.array([-1.0, 2.0]), seed=0)
+
+    def test_reproducible(self):
+        a, _, _ = make_gaussian_mixture(50, 4, 2, seed=9)
+        b, _, _ = make_gaussian_mixture(50, 4, 2, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestMnistLike:
+    def test_shape_and_spec(self):
+        points, spec = make_mnist_like(n=300, d=196, n_prototypes=5, seed=0)
+        assert points.shape == (300, 196)
+        assert isinstance(spec, DatasetSpec)
+        assert spec.name == "mnist-like"
+        assert spec.k_hint == 5
+
+    def test_normalized_by_default(self):
+        points, _ = make_mnist_like(n=200, d=64, seed=1)
+        assert abs(points.mean()) < 1e-8
+        assert points.min() >= -1.0 - 1e-12 and points.max() <= 1.0 + 1e-12
+
+    def test_unnormalized_values_in_unit_interval(self):
+        points, _ = make_mnist_like(n=100, d=64, seed=2, normalize=False)
+        assert points.min() >= 0.0 and points.max() <= 1.0
+
+    def test_has_cluster_structure(self):
+        points, spec = make_mnist_like(n=400, d=100, n_prototypes=4, seed=3)
+        result = solve_reference_kmeans(points, 4, n_init=3, seed=0)
+        single = kmeans_cost(points, points.mean(axis=0, keepdims=True))
+        assert result.cost < single
+
+    def test_reproducible(self):
+        a, _ = make_mnist_like(n=50, d=49, seed=5)
+        b, _ = make_mnist_like(n=50, d=49, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestNeuripsLike:
+    def test_shape_and_spec(self):
+        points, spec = make_neurips_like(n=200, d=300, n_topics=8, seed=0)
+        assert points.shape == (200, 300)
+        assert spec.name == "neurips-like"
+
+    def test_sparse_before_normalization(self):
+        points, _ = make_neurips_like(n=150, d=400, density=0.05, seed=1, normalize=False)
+        zero_fraction = np.mean(points == 0.0)
+        assert zero_fraction > 0.7
+
+    def test_nonnegative_before_normalization(self):
+        points, _ = make_neurips_like(n=100, d=200, seed=2, normalize=False)
+        assert points.min() >= 0.0
+
+    def test_normalized_by_default(self):
+        points, _ = make_neurips_like(n=100, d=200, seed=3)
+        assert abs(points.mean()) < 1e-8
+
+    def test_reproducible(self):
+        a, _ = make_neurips_like(n=60, d=80, seed=7)
+        b, _ = make_neurips_like(n=60, d=80, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestLoader:
+    def test_mnist_alias(self):
+        points, spec = load_benchmark_dataset("mnist", n=100, d=64, seed=0)
+        assert points.shape == (100, 64)
+        assert spec.name == "mnist-like"
+
+    def test_neurips_alias(self):
+        points, spec = load_benchmark_dataset("NeurIPS", n=80, d=120, seed=0)
+        assert points.shape == (80, 120)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_benchmark_dataset("imagenet")

@@ -1,0 +1,75 @@
+"""Tests for repro.distributed.partition."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition import partition_dataset
+
+
+class TestRandomPartition:
+    def test_covers_all_points_exactly_once(self, blob_points):
+        chunks = partition_dataset(blob_points, 7, strategy="random", seed=0)
+        merged = np.sort(np.concatenate(chunks))
+        assert np.array_equal(merged, np.arange(blob_points.shape[0]))
+
+    def test_number_of_chunks(self, blob_points):
+        assert len(partition_dataset(blob_points, 10, seed=1)) == 10
+
+    def test_near_equal_sizes(self, blob_points):
+        chunks = partition_dataset(blob_points, 8, seed=2)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_reproducible(self, blob_points):
+        a = partition_dataset(blob_points, 5, seed=3)
+        b = partition_dataset(blob_points, 5, seed=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestSkewedPartition:
+    def test_sizes_sum_to_n(self, blob_points):
+        chunks = partition_dataset(blob_points, 6, strategy="skewed-size", seed=0, skew=4.0)
+        assert sum(len(c) for c in chunks) == blob_points.shape[0]
+
+    def test_skew_produces_imbalance(self, blob_points):
+        chunks = partition_dataset(blob_points, 5, strategy="skewed-size", seed=1, skew=8.0)
+        sizes = sorted(len(c) for c in chunks)
+        assert sizes[-1] >= 2 * sizes[0]
+
+    def test_invalid_skew(self, blob_points):
+        with pytest.raises(ValueError):
+            partition_dataset(blob_points, 3, strategy="skewed-size", skew=0.5)
+
+
+class TestByClusterPartition:
+    def test_uses_labels_when_given(self, blobs):
+        points, labels, _ = blobs
+        chunks = partition_dataset(points, 4, strategy="by-cluster", labels=labels, seed=0)
+        # With 4 label groups and 4 sources, most sources should be dominated
+        # by one label.
+        dominant_fractions = []
+        for chunk in chunks:
+            counts = np.bincount(labels[chunk], minlength=4)
+            dominant_fractions.append(counts.max() / counts.sum())
+        assert np.mean(dominant_fractions) > 0.6
+
+    def test_without_labels_uses_first_coordinate(self, blob_points):
+        chunks = partition_dataset(blob_points, 3, strategy="by-cluster", seed=0)
+        firsts = [blob_points[c][:, 0] for c in chunks]
+        assert firsts[0].max() <= firsts[-1].min() + 1e-9
+
+    def test_label_length_mismatch(self, blob_points):
+        with pytest.raises(ValueError):
+            partition_dataset(blob_points, 3, strategy="by-cluster", labels=np.zeros(3))
+
+
+class TestValidation:
+    def test_unknown_strategy(self, blob_points):
+        with pytest.raises(ValueError):
+            partition_dataset(blob_points, 3, strategy="round-robin")
+
+    def test_too_many_sources(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            partition_dataset(points, 4)

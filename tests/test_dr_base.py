@@ -1,0 +1,45 @@
+"""Tests for repro.dr.base — the DR interface and identity reducer."""
+
+import numpy as np
+import pytest
+
+from repro.dr.base import IdentityReducer
+from repro.dr.jl import JLProjection
+
+
+class TestIdentityReducer:
+    def test_roundtrip(self, blob_points):
+        reducer = IdentityReducer(blob_points.shape[1])
+        assert np.allclose(reducer.transform(blob_points), blob_points)
+        assert np.allclose(reducer.inverse_transform(blob_points), blob_points)
+
+    def test_dimensions(self):
+        reducer = IdentityReducer(13)
+        assert reducer.input_dimension == 13
+        assert reducer.output_dimension == 13
+        assert reducer.transmitted_scalars == 0
+
+    def test_wrong_dimension_rejected(self):
+        reducer = IdentityReducer(4)
+        with pytest.raises(ValueError):
+            reducer.transform(np.zeros((2, 5)))
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityReducer(0)
+
+    def test_callable_interface(self, blob_points):
+        reducer = IdentityReducer(blob_points.shape[1])
+        assert np.allclose(reducer(blob_points), blob_points)
+
+
+class TestLiftThrough:
+    def test_composed_lift_matches_sequential(self, high_dim_points):
+        d = high_dim_points.shape[1]
+        first = JLProjection(d, 30, seed=0)
+        second = JLProjection(30, 10, seed=1)
+        low = second.transform(first.transform(high_dim_points[:5]))
+        composed = first.lift_through(second, low)
+        sequential = first.inverse_transform(second.inverse_transform(low))
+        assert np.allclose(composed, sequential)
+        assert composed.shape == (5, d)

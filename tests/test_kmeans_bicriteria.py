@@ -1,0 +1,64 @@
+"""Tests for repro.kmeans.bicriteria."""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.bicriteria import BicriteriaResult, bicriteria_approximation
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.lloyd import solve_reference_kmeans
+
+
+class TestBicriteriaApproximation:
+    def test_returns_result_with_centers(self, blob_points):
+        result = bicriteria_approximation(blob_points, 4, seed=0)
+        assert isinstance(result, BicriteriaResult)
+        assert result.centers.shape[1] == blob_points.shape[1]
+        assert result.size >= 1
+
+    def test_cost_matches_centers(self, blob_points):
+        result = bicriteria_approximation(blob_points, 3, seed=1)
+        assert result.cost == pytest.approx(kmeans_cost(blob_points, result.centers), rel=1e-9)
+
+    def test_constant_factor_vs_reference(self, blobs):
+        points, _, _ = blobs
+        reference = solve_reference_kmeans(points, 4, n_init=5, seed=0)
+        result = bicriteria_approximation(points, 4, seed=2)
+        # The bicriteria solution uses more than k centers, so it should be
+        # within a modest constant of the (near-)optimal k-means cost.
+        assert result.cost <= 20.0 * max(reference.cost, 1e-12)
+
+    def test_lower_bound_below_reference_cost(self, blobs):
+        points, _, _ = blobs
+        reference = solve_reference_kmeans(points, 4, n_init=5, seed=0)
+        result = bicriteria_approximation(points, 4, seed=3)
+        assert result.optimal_cost_lower_bound() <= reference.cost + 1e-9
+
+    def test_labels_cover_all_points(self, blob_points):
+        result = bicriteria_approximation(blob_points, 2, seed=4)
+        assert result.labels.shape == (blob_points.shape[0],)
+        assert result.labels.max() < result.size
+
+    def test_deterministic_given_seed(self, blob_points):
+        a = bicriteria_approximation(blob_points, 3, seed=9)
+        b = bicriteria_approximation(blob_points, 3, seed=9)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_weighted_input(self, blob_points):
+        weights = np.linspace(0.5, 2.0, blob_points.shape[0])
+        result = bicriteria_approximation(blob_points, 3, weights=weights, seed=5)
+        assert result.size >= 3 or result.cost == pytest.approx(0.0)
+
+    def test_degenerate_identical_points(self):
+        points = np.tile(np.array([[2.0, 2.0]]), (30, 1))
+        result = bicriteria_approximation(points, 3, seed=0)
+        assert result.cost == pytest.approx(0.0, abs=1e-12)
+
+    def test_explicit_rounds_respected(self, blob_points):
+        result = bicriteria_approximation(blob_points, 2, rounds=2, seed=6)
+        assert result.rounds == 2
+
+    def test_invalid_parameters(self, blob_points):
+        with pytest.raises(ValueError):
+            bicriteria_approximation(blob_points, 0, seed=0)
+        with pytest.raises(ValueError):
+            bicriteria_approximation(blob_points, 2, rounds=0, seed=0)

@@ -1,0 +1,134 @@
+"""Tests for repro.kmeans.cost."""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.cost import (
+    assign_to_centers,
+    cluster_means,
+    kmeans_cost,
+    normalized_cost,
+    partition_cost,
+    partition_from_centers,
+    weighted_kmeans_cost,
+    within_cluster_sizes,
+)
+
+
+class TestAssignToCenters:
+    def test_nearest_center_chosen(self, tiny_points):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        labels, d2 = assign_to_centers(tiny_points, centers)
+        assert np.array_equal(labels, [0, 0, 0, 1, 1, 1])
+        assert np.allclose(d2, [0.0, 1.0, 1.0, 0.0, 1.0, 1.0])
+
+    def test_tie_breaks_to_lowest_index(self):
+        points = np.array([[0.5, 0.0]])
+        centers = np.array([[0.0, 0.0], [1.0, 0.0]])
+        labels, _ = assign_to_centers(points, centers)
+        assert labels[0] == 0
+
+    def test_single_center(self, tiny_points):
+        labels, d2 = assign_to_centers(tiny_points, np.zeros((1, 2)))
+        assert np.all(labels == 0)
+        assert d2[3] == pytest.approx(200.0)
+
+
+class TestKmeansCost:
+    def test_exact_value(self, tiny_points):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert kmeans_cost(tiny_points, centers) == pytest.approx(4.0)
+
+    def test_zero_cost_when_centers_equal_points(self, tiny_points):
+        assert kmeans_cost(tiny_points, tiny_points) == pytest.approx(0.0)
+
+    def test_cost_decreases_with_more_centers(self, blob_points):
+        one = kmeans_cost(blob_points, blob_points[:1])
+        two = kmeans_cost(blob_points, blob_points[:2])
+        assert two <= one
+
+
+class TestWeightedCost:
+    def test_unit_weights_match_unweighted(self, tiny_points):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert weighted_kmeans_cost(tiny_points, centers) == pytest.approx(
+            kmeans_cost(tiny_points, centers)
+        )
+
+    def test_weights_scale_cost(self, tiny_points):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        w = np.full(6, 3.0)
+        assert weighted_kmeans_cost(tiny_points, centers, w) == pytest.approx(12.0)
+
+    def test_shift_added(self, tiny_points):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert weighted_kmeans_cost(tiny_points, centers, shift=5.0) == pytest.approx(9.0)
+
+    def test_duplicated_points_equal_weighting(self, blob_points):
+        centers = blob_points[:3]
+        doubled = np.vstack([blob_points, blob_points])
+        w = np.full(blob_points.shape[0], 2.0)
+        assert weighted_kmeans_cost(blob_points, centers, w) == pytest.approx(
+            kmeans_cost(doubled, centers), rel=1e-10
+        )
+
+
+class TestClusterMeans:
+    def test_simple_means(self, tiny_points):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        means = cluster_means(tiny_points, labels, 2)
+        assert np.allclose(means[0], [1.0 / 3.0, 1.0 / 3.0])
+        assert np.allclose(means[1], [31.0 / 3.0, 31.0 / 3.0])
+
+    def test_weighted_mean(self):
+        points = np.array([[0.0], [2.0]])
+        labels = np.array([0, 0])
+        means = cluster_means(points, labels, 1, weights=np.array([3.0, 1.0]))
+        assert means[0, 0] == pytest.approx(0.5)
+
+    def test_empty_cluster_is_zero(self, tiny_points):
+        labels = np.zeros(6, dtype=int)
+        means = cluster_means(tiny_points, labels, 3)
+        assert np.allclose(means[1], 0.0)
+        assert np.allclose(means[2], 0.0)
+
+
+class TestPartitionCost:
+    def test_partition_cost_uses_means(self, tiny_points):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        cost = partition_cost(tiny_points, labels, 2)
+        # Each cluster of 3 points at pairwise distance 1 around its mean.
+        expected = 2 * (2.0 / 3.0 + 2.0 / 3.0)
+        assert cost == pytest.approx(expected)
+
+    def test_partition_cost_lower_than_any_center_cost(self, blob_points):
+        centers = blob_points[:4]
+        labels, _ = assign_to_centers(blob_points, centers)
+        assert partition_cost(blob_points, labels, 4) <= kmeans_cost(blob_points, centers) + 1e-9
+
+    def test_partition_from_centers_covers_all_points(self, blob_points):
+        parts = partition_from_centers(blob_points, blob_points[:5])
+        total = sum(len(p) for p in parts)
+        assert total == blob_points.shape[0]
+
+
+class TestNormalizedCost:
+    def test_identity_is_one(self, blob_points):
+        c = blob_points[:3]
+        assert normalized_cost(blob_points, c, c) == pytest.approx(1.0)
+
+    def test_worse_centers_above_one(self, blobs):
+        points, _, true_centers = blobs
+        bad = np.zeros_like(true_centers)
+        assert normalized_cost(points, bad, true_centers) >= 1.0
+
+    def test_zero_reference_handled(self):
+        points = np.zeros((4, 2))
+        centers = np.zeros((1, 2))
+        assert normalized_cost(points, centers, centers) == 1.0
+
+
+class TestWithinClusterSizes:
+    def test_counts(self):
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        assert np.array_equal(within_cluster_sizes(labels, 4), [1, 2, 3, 0])

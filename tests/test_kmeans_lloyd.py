@@ -1,0 +1,85 @@
+"""Tests for repro.kmeans.lloyd."""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.lloyd import KMeansResult, WeightedKMeans, solve_reference_kmeans
+
+
+class TestWeightedKMeans:
+    def test_recovers_separated_clusters(self, blobs):
+        points, labels, true_centers = blobs
+        result = WeightedKMeans(k=4, n_init=3, seed=0).fit(points)
+        # Each true center should have a found center nearby.
+        for c in true_centers:
+            distances = np.linalg.norm(result.centers - c, axis=1)
+            assert distances.min() < 1.0
+
+    def test_result_fields(self, blob_points):
+        result = WeightedKMeans(k=3, n_init=2, seed=1).fit(blob_points)
+        assert isinstance(result, KMeansResult)
+        assert result.centers.shape == (3, blob_points.shape[1])
+        assert result.labels.shape == (blob_points.shape[0],)
+        assert result.cost >= 0.0
+        assert result.k == 3
+        assert result.restarts == 2
+
+    def test_cost_matches_centers(self, blob_points):
+        result = WeightedKMeans(k=4, n_init=2, seed=2).fit(blob_points)
+        assert result.cost == pytest.approx(kmeans_cost(blob_points, result.centers), rel=1e-9)
+
+    def test_deterministic_given_seed(self, blob_points):
+        a = WeightedKMeans(k=3, n_init=2, seed=5).fit(blob_points)
+        b = WeightedKMeans(k=3, n_init=2, seed=5).fit(blob_points)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_more_restarts_never_worse(self, high_dim_points):
+        few = WeightedKMeans(k=3, n_init=1, seed=7).fit(high_dim_points)
+        many = WeightedKMeans(k=3, n_init=6, seed=7).fit(high_dim_points)
+        assert many.cost <= few.cost * 1.0001
+
+    def test_weights_shift_centers(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        weights = np.array([100.0, 100.0, 1e-6, 1e-6])
+        result = WeightedKMeans(k=1, n_init=2, seed=0).fit(points, weights)
+        assert abs(result.centers[0, 0] - 0.5) < 0.01
+
+    def test_k_larger_than_n_pads_centers(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0]])
+        result = WeightedKMeans(k=4, n_init=1, seed=0).fit(points)
+        assert result.centers.shape == (4, 2)
+        assert result.cost == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_zero_weights_raise(self, blob_points):
+        with pytest.raises(ValueError):
+            WeightedKMeans(k=2, seed=0).fit(blob_points, np.zeros(blob_points.shape[0]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WeightedKMeans(k=0)
+        with pytest.raises(ValueError):
+            WeightedKMeans(k=2, tolerance=-1.0)
+
+    def test_fit_predict_labels_valid(self, blob_points):
+        labels = WeightedKMeans(k=4, n_init=2, seed=3).fit_predict(blob_points)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+
+    def test_duplicate_points_handled(self):
+        points = np.tile(np.array([[1.0, 2.0]]), (20, 1))
+        result = WeightedKMeans(k=3, n_init=1, seed=0).fit(points)
+        assert result.cost == pytest.approx(0.0, abs=1e-12)
+
+
+class TestReferenceSolver:
+    def test_reference_close_to_planted_solution(self, blobs):
+        points, labels, true_centers = blobs
+        result = solve_reference_kmeans(points, 4, n_init=5, seed=0)
+        planted_cost = kmeans_cost(points, true_centers)
+        assert result.cost <= planted_cost * 1.05
+
+    def test_reference_is_deterministic(self, blob_points):
+        a = solve_reference_kmeans(blob_points, 3, n_init=3, seed=11)
+        b = solve_reference_kmeans(blob_points, 3, n_init=3, seed=11)
+        assert np.allclose(a.centers, b.centers)

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants that must hold for arbitrary inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cr.coreset import Coreset
+from repro.dr.jl import JLProjection
+from repro.kmeans.cost import assign_to_centers, kmeans_cost, weighted_kmeans_cost
+from repro.quantization.bits import bits_per_scalar
+from repro.quantization.rounding import RoundingQuantizer
+from repro.utils.linalg import pairwise_squared_distances
+
+# Bounded, finite float matrices keep hypothesis fast and avoid overflow in
+# squared distances.
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def matrices(max_rows=12, max_cols=6):
+    return hnp.arrays(
+        dtype=float,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=max_rows),
+            st.integers(min_value=1, max_value=max_cols),
+        ),
+        elements=finite_floats,
+    )
+
+
+@st.composite
+def points_and_centers(draw, max_rows=12, max_cols=5, max_centers=4):
+    d = draw(st.integers(min_value=1, max_value=max_cols))
+    n = draw(st.integers(min_value=1, max_value=max_rows))
+    k = draw(st.integers(min_value=1, max_value=max_centers))
+    points = draw(hnp.arrays(float, (n, d), elements=finite_floats))
+    centers = draw(hnp.arrays(float, (k, d), elements=finite_floats))
+    return points, centers
+
+
+class TestCostProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points_and_centers())
+    def test_cost_non_negative(self, pc):
+        points, centers = pc
+        assert kmeans_cost(points, centers) >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_and_centers())
+    def test_adding_a_center_never_increases_cost(self, pc):
+        points, centers = pc
+        extended = np.vstack([centers, points[:1]])
+        assert kmeans_cost(points, extended) <= kmeans_cost(points, centers) + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_and_centers(), st.floats(min_value=0.0, max_value=100.0))
+    def test_shift_is_additive(self, pc, shift):
+        points, centers = pc
+        base = weighted_kmeans_cost(points, centers)
+        shifted = weighted_kmeans_cost(points, centers, shift=shift)
+        assert shifted == pytest.approx(base + shift, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_and_centers(), st.floats(min_value=0.1, max_value=10.0))
+    def test_cost_scales_with_uniform_weights(self, pc, scale):
+        points, centers = pc
+        weights = np.full(points.shape[0], scale)
+        assert weighted_kmeans_cost(points, centers, weights) == pytest.approx(
+            scale * kmeans_cost(points, centers), rel=1e-9, abs=1e-6
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_and_centers())
+    def test_assignment_cost_consistency(self, pc):
+        points, centers = pc
+        labels, d2 = assign_to_centers(points, centers)
+        # The per-point distance to the assigned center equals the minimum
+        # pairwise distance.
+        full = pairwise_squared_distances(points, centers)
+        assert np.allclose(d2, full.min(axis=1), rtol=1e-9, atol=1e-6)
+        assert np.all(labels >= 0) and np.all(labels < centers.shape[0])
+
+
+class TestDistanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(matrices())
+    def test_self_distance_diagonal_zero(self, m):
+        d2 = pairwise_squared_distances(m, m)
+        # Absolute tolerance must scale with the magnitude of the entries:
+        # the |x|^2 - 2xy + |y|^2 expansion cancels catastrophically for
+        # large values.
+        scale = max(1.0, float(np.max(np.abs(m))) ** 2)
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-9 * scale)
+        assert np.all(d2 >= 0.0)
+
+
+class TestQuantizerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(matrices(), st.integers(min_value=1, max_value=52))
+    def test_relative_error_bound(self, m, s):
+        quantized = RoundingQuantizer(s).quantize(m)
+        error = np.abs(m - quantized)
+        assert np.all(error <= np.abs(m) * 2.0 ** (-s) + 1e-300)
+
+    @settings(max_examples=50, deadline=None)
+    @given(matrices(), st.integers(min_value=1, max_value=52))
+    def test_idempotence(self, m, s):
+        q = RoundingQuantizer(s)
+        once = q.quantize(m)
+        assert np.array_equal(q.quantize(once), once)
+
+    @settings(max_examples=50, deadline=None)
+    @given(matrices(), st.integers(min_value=1, max_value=52))
+    def test_sign_and_zero_preservation(self, m, s):
+        quantized = RoundingQuantizer(s).quantize(m)
+        assert np.all((m == 0) == (quantized == 0))
+        assert np.all(np.sign(quantized) == np.sign(m))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=60))
+    def test_bits_per_scalar_monotone_and_capped(self, s):
+        assert bits_per_scalar(s) <= 64
+        if s < 52:
+            assert bits_per_scalar(s) <= bits_per_scalar(s + 1)
+
+
+class TestJLProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_projection_shapes_and_determinism(self, d, d_out, seed):
+        d_out = min(d_out, d)
+        a = JLProjection(d, d_out, seed=seed)
+        b = JLProjection(d, d_out, seed=seed)
+        assert a.matrix.shape == (d, d_out)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices(max_rows=8, max_cols=10), st.integers(min_value=0, max_value=10**6))
+    def test_projection_linearity(self, m, seed):
+        d = m.shape[1]
+        proj = JLProjection(d, max(1, d // 2), seed=seed)
+        scaled = proj.transform(2.5 * m)
+        assert np.allclose(scaled, 2.5 * proj.transform(m), rtol=1e-9, atol=1e-6)
+
+
+class TestCoresetProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(matrices(max_rows=10, max_cols=4), st.floats(min_value=0.0, max_value=10.0))
+    def test_coreset_cost_vs_weighted_cost(self, m, shift):
+        weights = np.abs(m[:, 0]) + 1.0
+        coreset = Coreset(m, weights, shift=shift)
+        centers = m[:1]
+        assert coreset.cost(centers) == pytest.approx(
+            weighted_kmeans_cost(m, centers, weights, shift), rel=1e-9, abs=1e-6
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(matrices(max_rows=8, max_cols=4))
+    def test_merge_preserves_total_weight(self, m):
+        a = Coreset(m, np.ones(m.shape[0]))
+        b = Coreset(m * 2.0, np.full(m.shape[0], 2.0))
+        merged = a.merged_with(b)
+        assert merged.total_weight == pytest.approx(a.total_weight + b.total_weight)
+        assert merged.size == a.size + b.size

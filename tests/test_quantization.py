@@ -1,0 +1,118 @@
+"""Tests for repro.quantization — rounding quantizer and bit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.bits import (
+    DOUBLE_PRECISION_BITS,
+    DOUBLE_SIGNIFICAND_BITS,
+    bits_per_scalar,
+    scalars_to_bits,
+)
+from repro.quantization.rounding import IdentityQuantizer, RoundingQuantizer
+
+
+class TestBitsAccounting:
+    def test_full_precision(self):
+        assert bits_per_scalar(None) == DOUBLE_PRECISION_BITS
+        assert bits_per_scalar(53) == DOUBLE_PRECISION_BITS
+        assert bits_per_scalar(60) == DOUBLE_PRECISION_BITS
+
+    def test_reduced_precision(self):
+        # sign (1) + exponent (11) + s significand bits
+        assert bits_per_scalar(10) == 22
+        assert bits_per_scalar(1) == 13
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            bits_per_scalar(0)
+
+    def test_scalars_to_bits(self):
+        assert scalars_to_bits(100, None) == 6400
+        assert scalars_to_bits(100, 10) == 2200
+        with pytest.raises(ValueError):
+            scalars_to_bits(-1)
+
+
+class TestRoundingQuantizer:
+    def test_error_within_analytical_bound(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-1.0, 1.0, size=(200, 30))
+        for s in (1, 3, 8, 16, 30):
+            quantizer = RoundingQuantizer(s)
+            assert quantizer.max_error(points) <= quantizer.error_bound(points) + 1e-15
+
+    def test_per_element_relative_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-10, 10, size=(100, 5))
+        s = 6
+        q = RoundingQuantizer(s).quantize(x)
+        rel = np.abs(x - q) / np.maximum(np.abs(x), 1e-300)
+        # |x - Γ(x)| <= |x| 2^{-s}
+        assert np.all(rel <= 2.0 ** (-s) + 1e-12)
+
+    def test_error_decreases_with_more_bits(self):
+        rng = np.random.default_rng(2)
+        points = rng.standard_normal((100, 10))
+        errors = [RoundingQuantizer(s).max_error(points) for s in (2, 6, 12, 24)]
+        assert all(errors[i] >= errors[i + 1] for i in range(len(errors) - 1))
+
+    def test_high_precision_is_exact(self):
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal((50, 4))
+        assert np.array_equal(RoundingQuantizer(53).quantize(points), points)
+
+    def test_sign_preserved(self):
+        x = np.array([[-1.234, 5.678, -0.0001]])
+        q = RoundingQuantizer(4).quantize(x)
+        assert np.all(np.sign(q) == np.sign(x))
+
+    def test_zero_maps_to_zero(self):
+        assert RoundingQuantizer(3).quantize(np.array([[0.0]]))[0, 0] == 0.0
+
+    def test_powers_of_two_exact_at_any_precision(self):
+        x = np.array([[1.0, 2.0, 0.5, -4.0, 0.25]])
+        assert np.array_equal(RoundingQuantizer(1).quantize(x), x)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(4)
+        points = rng.standard_normal((30, 6))
+        q = RoundingQuantizer(7)
+        once = q.quantize(points)
+        twice = q.quantize(once)
+        assert np.array_equal(once, twice)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            RoundingQuantizer(4).quantize(np.array([[np.nan]]))
+
+    def test_invalid_bit_counts(self):
+        with pytest.raises(ValueError):
+            RoundingQuantizer(0)
+        with pytest.raises(ValueError):
+            RoundingQuantizer(54)
+
+    def test_empty_input(self):
+        out = RoundingQuantizer(5).quantize(np.zeros((0, 3)))
+        assert out.shape == (0, 3)
+        assert RoundingQuantizer(5).max_error(np.zeros((0, 3))) == 0.0
+
+    def test_transmission_bits(self):
+        q = RoundingQuantizer(10)
+        assert q.bits_per_scalar == 22
+        assert q.transmission_bits(5) == 110
+
+
+class TestIdentityQuantizer:
+    def test_exact_copy(self):
+        rng = np.random.default_rng(5)
+        points = rng.standard_normal((20, 3))
+        q = IdentityQuantizer()
+        out = q.quantize(points)
+        assert np.array_equal(out, points)
+        assert out is not points
+
+    def test_full_precision_accounting(self):
+        q = IdentityQuantizer()
+        assert q.significant_bits == DOUBLE_SIGNIFICAND_BITS
+        assert q.bits_per_scalar == DOUBLE_PRECISION_BITS

@@ -1,0 +1,99 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import (
+    as_generator,
+    check_all_distinct,
+    derive_seed,
+    permutation_chunks,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, size=8)
+        b = as_generator(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(3, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(3, 4)]
+        assert a == b
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(9, 3)
+        draws = [g.integers(0, 10**12) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        children = spawn_generators(gen, 5)
+        assert len(children) == 5
+        assert check_all_distinct(children)
+
+
+class TestDeriveSeed:
+    def test_returns_int(self):
+        assert isinstance(derive_seed(np.random.default_rng(0)), int)
+
+    def test_consecutive_draws_differ(self):
+        gen = np.random.default_rng(0)
+        assert derive_seed(gen) != derive_seed(gen)
+
+
+class TestPermutationChunks:
+    def test_partitions_all_indices(self):
+        chunks = permutation_chunks(np.random.default_rng(0), 10, 3)
+        merged = np.sort(np.concatenate(chunks))
+        assert np.array_equal(merged, np.arange(10))
+
+    def test_chunk_count(self):
+        chunks = permutation_chunks(np.random.default_rng(0), 10, 4)
+        assert len(chunks) == 4
+
+    def test_chunks_nonempty(self):
+        chunks = permutation_chunks(np.random.default_rng(1), 5, 5)
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_too_many_parts_raises(self):
+        with pytest.raises(ValueError):
+            permutation_chunks(np.random.default_rng(0), 3, 4)
+
+    def test_zero_parts_raises(self):
+        with pytest.raises(ValueError):
+            permutation_chunks(np.random.default_rng(0), 3, 0)

@@ -1,0 +1,107 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_matrix,
+    check_positive_int,
+    check_weights,
+)
+
+
+class TestCheckMatrix:
+    def test_returns_float_2d(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.dtype == float
+        assert out.shape == (2, 2)
+
+    def test_promotes_1d(self):
+        assert check_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_matrix([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_matrix([[np.inf, 1.0]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((1, 3)), min_rows=2)
+
+    def test_allow_empty(self):
+        out = check_matrix(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+
+class TestCheckWeights:
+    def test_none_gives_unit_weights(self):
+        assert np.allclose(check_weights(None, 4), np.ones(4))
+
+    def test_valid_passthrough(self):
+        w = check_weights([1.0, 2.0], 2)
+        assert np.allclose(w, [1.0, 2.0])
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            check_weights([1.0], 2)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            check_weights([-1.0, 1.0], 2)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            check_weights([np.nan, 1.0], 2)
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            check_weights(np.ones((2, 2)), 2)
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_numpy_int_accepted(self):
+        assert check_positive_int(np.int64(5), "k") == 5
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "k")
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "k")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+
+class TestCheckFraction:
+    def test_valid(self):
+        assert check_fraction(0.5, "eps") == 0.5
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "eps")
+
+    def test_one_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "eps")
+
+    def test_inclusive_bounds(self):
+        assert check_fraction(0.0, "eps", inclusive_low=True) == 0.0
+        assert check_fraction(1.0, "eps", inclusive_high=True) == 1.0
+
+    def test_custom_range(self):
+        assert check_fraction(0.3, "eps", high=1.0 / 3.0, inclusive_high=True) == 0.3
+        with pytest.raises(ValueError):
+            check_fraction(0.4, "eps", high=1.0 / 3.0, inclusive_high=True)
