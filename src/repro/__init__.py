@@ -23,6 +23,8 @@ regenerate every table and figure of the paper's evaluation section.
 
 from repro.core import (
     PipelineReport,
+    StagePipeline,
+    DistributedStagePipeline,
     SingleSourcePipeline,
     NoReductionPipeline,
     FSSPipeline,
@@ -33,10 +35,31 @@ from repro.core import (
     DistributedNoReductionPipeline,
     BKLWPipeline,
     JLBKLWPipeline,
+    PipelineSpec,
+    register_pipeline,
+    create_pipeline,
+    registered_names,
+    make_stage_pipeline,
     QuantizerConfiguration,
     configure_joint_reduction,
     TheoreticalCosts,
     theoretical_costs,
+)
+from repro.stages import (
+    Stage,
+    SourceState,
+    StageContext,
+    StageEffect,
+    JLStage,
+    PCAStage,
+    FSSStage,
+    SensitivityStage,
+    UniformStage,
+    QuantizeStage,
+    DistributedStage,
+    SharedJLStage,
+    BKLWStage,
+    RawGatherStage,
 )
 from repro.cr import Coreset, FSSCoreset, SensitivitySampler, UniformCoreset
 from repro.dr import JLProjection, PCAProjection, jl_target_dimension
@@ -51,10 +74,31 @@ from repro.datasets import (
 )
 from repro.metrics import ExperimentRunner, EvaluationContext, evaluate_report
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PipelineReport",
+    "StagePipeline",
+    "DistributedStagePipeline",
+    "PipelineSpec",
+    "register_pipeline",
+    "create_pipeline",
+    "registered_names",
+    "make_stage_pipeline",
+    "Stage",
+    "SourceState",
+    "StageContext",
+    "StageEffect",
+    "JLStage",
+    "PCAStage",
+    "FSSStage",
+    "SensitivityStage",
+    "UniformStage",
+    "QuantizeStage",
+    "DistributedStage",
+    "SharedJLStage",
+    "BKLWStage",
+    "RawGatherStage",
     "SingleSourcePipeline",
     "NoReductionPipeline",
     "FSSPipeline",

@@ -1,4 +1,11 @@
-"""Core: the paper's communication-efficient k-means pipelines.
+"""Core: the stage engine, the pipeline registry, and the paper's pipelines.
+
+The execution skeleton shared by every algorithm lives in
+:mod:`repro.core.engine` (:class:`StagePipeline` /
+:class:`DistributedStagePipeline`): timing, network metering, server-side
+weighted k-means, and center lift-back through the recorded DR inverses.
+Algorithms are declarative compositions of the stages in
+:mod:`repro.stages`, registered by name in :mod:`repro.core.registry`.
 
 Single-source pipelines (Section 4):
 
@@ -25,6 +32,12 @@ communication/complexity scalings of Table 2.
 """
 
 from repro.core.report import PipelineReport
+from repro.core.engine import (
+    StagePipeline,
+    DistributedStagePipeline,
+    WireSummary,
+    encode_for_wire,
+)
 from repro.core.pipelines import (
     SingleSourcePipeline,
     NoReductionPipeline,
@@ -39,6 +52,16 @@ from repro.core.distributed_pipelines import (
     BKLWPipeline,
     JLBKLWPipeline,
 )
+from repro.core.registry import (
+    PipelineSpec,
+    register_pipeline,
+    create_pipeline,
+    registered_names,
+    registered_specs,
+    get_spec,
+    is_multi_source,
+    make_stage_pipeline,
+)
 from repro.core.configuration import (
     QuantizerConfiguration,
     configure_joint_reduction,
@@ -49,6 +72,10 @@ from repro.core.theory import TheoreticalCosts, theoretical_costs, THEORY_TABLE_
 
 __all__ = [
     "PipelineReport",
+    "StagePipeline",
+    "DistributedStagePipeline",
+    "WireSummary",
+    "encode_for_wire",
     "SingleSourcePipeline",
     "NoReductionPipeline",
     "FSSPipeline",
@@ -59,6 +86,14 @@ __all__ = [
     "DistributedNoReductionPipeline",
     "BKLWPipeline",
     "JLBKLWPipeline",
+    "PipelineSpec",
+    "register_pipeline",
+    "create_pipeline",
+    "registered_names",
+    "registered_specs",
+    "get_spec",
+    "is_multi_source",
+    "make_stage_pipeline",
     "QuantizerConfiguration",
     "configure_joint_reduction",
     "approximation_error_bound",

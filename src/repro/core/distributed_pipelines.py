@@ -1,46 +1,48 @@
-"""Multi-source pipelines: distributed NR, BKLW, and Algorithm 4 (JL+BKLW).
+"""Multi-source pipelines: distributed NR, BKLW, and Algorithm 4 as stage
+compositions.
 
-Each pipeline operates on a list of per-source shards, builds a fresh
-:class:`~repro.distributed.cluster.EdgeCluster`, executes the distributed
-protocol through the metered network, and returns a
-:class:`~repro.core.report.PipelineReport`.
+The protocol skeleton — cluster construction, seed handshake, per-stage
+execution through the metered network, server k-means, center lift-back, and
+the parallel-complexity accounting (``source_seconds`` is the *maximum*
+per-source computation time; the per-source total is in ``details``) — lives
+in :class:`~repro.core.engine.DistributedStagePipeline`.  Each class here is
+a thin factory keeping the classic constructor and declaring its algorithm as
+a composition of distributed stages:
 
-Because edge devices compute in parallel, the complexity metric reported in
-``source_seconds`` is the *maximum* per-source computation time (the
-wall-clock bottleneck); the per-source total is available in ``details``.
+====================================  ===============================
+``DistributedNoReductionPipeline``    ``RawGather``
+``BKLWPipeline``                      ``BKLW``          (Theorem 5.3)
+``JLBKLWPipeline``                    ``JL ∘ BKLW``     (Algorithm 4)
+====================================  ===============================
 """
 
 from __future__ import annotations
 
 import abc
-import time
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-import numpy as np
-
-from repro.core.report import PipelineReport
-from repro.cr.coreset import Coreset
-from repro.distributed.bklw import BKLWCoreset
-from repro.distributed.cluster import EdgeCluster
-from repro.distributed.partition import partition_dataset
-from repro.dr.jl import JLProjection, jl_target_dimension
+from repro.core.engine import DistributedStagePipeline
 from repro.quantization.rounding import RoundingQuantizer
-from repro.utils.random import SeedLike, as_generator, derive_seed
-from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+from repro.stages.distributed import (
+    BKLWStage,
+    DistributedStage,
+    RawGatherStage,
+    SharedJLStage,
+)
+from repro.stages.sizing import default_distributed_samples
+from repro.utils.random import SeedLike
+
+__all__ = [
+    "default_distributed_samples",
+    "MultiSourcePipeline",
+    "DistributedNoReductionPipeline",
+    "BKLWPipeline",
+    "JLBKLWPipeline",
+]
 
 
-def default_distributed_samples(m: int, k: int) -> int:
-    """Practical default for the disSS global sample budget.
-
-    As with the centralized defaults, the theoretical constants of
-    Theorem 5.2 far exceed laptop-scale dataset sizes; the paper's
-    experiments tune summary sizes for comparable empirical error.
-    """
-    return max(100, 100 * k, 20 * m * k)
-
-
-class MultiSourcePipeline(abc.ABC):
-    """Base class for multi-data-source pipelines.
+class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
+    """Base class for the paper's multi-data-source pipelines.
 
     Parameters
     ----------
@@ -73,88 +75,25 @@ class MultiSourcePipeline(abc.ABC):
         server_n_init: int = 5,
         seed: SeedLike = None,
     ) -> None:
-        self.k = check_positive_int(k, "k")
-        self.epsilon = check_fraction(epsilon, "epsilon", high=1.0 / 3.0, inclusive_high=True)
-        self.delta = check_fraction(delta, "delta")
+        super().__init__(
+            k=k,
+            epsilon=epsilon,
+            delta=delta,
+            quantizer=quantizer,
+            server_n_init=server_n_init,
+            seed=seed,
+        )
         self.pca_rank = pca_rank
         self.total_samples = total_samples
         self.jl_dimension = jl_dimension
-        self.quantizer = quantizer
-        self.server_n_init = check_positive_int(server_n_init, "server_n_init")
-        self._rng = as_generator(seed)
 
-    # -------------------------------------------------------------- helpers
-    def _resolved_pca_rank(self, shards: Sequence[np.ndarray]) -> int:
-        d = shards[0].shape[1]
-        min_n = min(s.shape[0] for s in shards)
-        if self.pca_rank is not None:
-            return min(check_positive_int(self.pca_rank, "pca_rank"), d, min_n)
-        return max(self.k + 2, min(d, min_n, 5 * self.k))
+    # -------------------------------------------------------------- assembly
+    def _bklw_stage(self) -> BKLWStage:
+        return BKLWStage(pca_rank=self.pca_rank, total_samples=self.total_samples)
 
-    def _resolved_samples(self, shards: Sequence[np.ndarray]) -> int:
-        if self.total_samples is not None:
-            return check_positive_int(self.total_samples, "total_samples")
-        return default_distributed_samples(len(shards), self.k)
-
-    def _resolved_jl_dimension(self, total_n: int, d: int) -> int:
-        if self.jl_dimension is not None:
-            return min(check_positive_int(self.jl_dimension, "jl_dimension"), d)
-        return jl_target_dimension(
-            total_n, self.k, min(self.epsilon, 0.999), self.delta,
-            constant=1.0, max_dimension=d,
-        )
-
-    def _build_cluster(self, shards: Sequence[np.ndarray]) -> EdgeCluster:
-        return EdgeCluster.from_shards(
-            shards,
-            k=self.k,
-            seed=derive_seed(self._rng),
-            server_n_init=self.server_n_init,
-        )
-
-    def _report(
-        self,
-        cluster: EdgeCluster,
-        centers: np.ndarray,
-        server_seconds: float,
-        coreset: Optional[Coreset] = None,
-        summary_dimension: int = 0,
-    ) -> PipelineReport:
-        report = PipelineReport(
-            algorithm=self.name,
-            centers=centers,
-            communication_scalars=cluster.network.uplink_scalars(),
-            communication_bits=cluster.network.uplink_bits(),
-            source_seconds=cluster.max_source_compute_seconds(),
-            server_seconds=server_seconds + cluster.server.compute_seconds,
-            summary_cardinality=0 if coreset is None else coreset.size,
-            summary_dimension=summary_dimension,
-            quantizer_bits=(
-                None if self.quantizer is None else self.quantizer.significant_bits
-            ),
-        )
-        return report.with_detail(
-            total_source_seconds=cluster.total_source_compute_seconds(),
-            num_sources=cluster.num_sources,
-        )
-
-    # ------------------------------------------------------------------ API
     @abc.abstractmethod
-    def run(self, shards: Sequence[np.ndarray]) -> PipelineReport:
-        """Execute the pipeline over per-source shards of the dataset."""
-
-    def run_on_dataset(
-        self,
-        points: np.ndarray,
-        num_sources: int,
-        strategy: str = "random",
-        partition_seed: SeedLike = None,
-    ) -> PipelineReport:
-        """Convenience wrapper: partition ``points`` and run the pipeline."""
-        points = check_matrix(points, "points")
-        seed = partition_seed if partition_seed is not None else derive_seed(self._rng)
-        indices = partition_dataset(points, num_sources, strategy=strategy, seed=seed)
-        return self.run([points[idx] for idx in indices])
+    def build_stages(self) -> List[DistributedStage]:
+        """Declare the algorithm's stage composition."""
 
 
 class DistributedNoReductionPipeline(MultiSourcePipeline):
@@ -162,33 +101,8 @@ class DistributedNoReductionPipeline(MultiSourcePipeline):
 
     name = "NR (distributed)"
 
-    def run(self, shards: Sequence[np.ndarray]) -> PipelineReport:
-        shards = [check_matrix(s, "shard") for s in shards]
-        cluster = self._build_cluster(shards)
-
-        for source in cluster.sources:
-            payload = source.points
-            bits = None
-            if self.quantizer is not None:
-                payload = source.quantize(payload, self.quantizer)
-                bits = self.quantizer.significant_bits
-            source.send_to_server(payload, tag="raw-data", significant_bits=bits)
-            cluster.server.receive_coreset(
-                Coreset(payload, np.ones(payload.shape[0]), shift=0.0)
-            )
-
-        server_start = time.perf_counter()
-        merged = cluster.server.merged_coreset()
-        result = cluster.server.solve_kmeans(merged)
-        server_seconds = time.perf_counter() - server_start
-
-        return self._report(
-            cluster,
-            centers=result.centers,
-            server_seconds=server_seconds,
-            coreset=merged,
-            summary_dimension=cluster.dimension,
-        )
+    def build_stages(self) -> List[DistributedStage]:
+        return [RawGatherStage()]
 
 
 class BKLWPipeline(MultiSourcePipeline):
@@ -201,34 +115,8 @@ class BKLWPipeline(MultiSourcePipeline):
 
     name = "BKLW"
 
-    def run(self, shards: Sequence[np.ndarray]) -> PipelineReport:
-        shards = [check_matrix(s, "shard") for s in shards]
-        cluster = self._build_cluster(shards)
-
-        builder = BKLWCoreset(
-            k=self.k,
-            epsilon=self.epsilon,
-            delta=self.delta,
-            pca_rank=self._resolved_pca_rank(shards),
-            total_samples=self._resolved_samples(shards),
-            quantizer=self.quantizer,
-        )
-        built = builder.build(cluster.sources, cluster.server)
-
-        server_start = time.perf_counter()
-        result = cluster.server.solve_kmeans(built.coreset)
-        server_seconds = time.perf_counter() - server_start
-
-        return self._report(
-            cluster,
-            centers=result.centers,
-            server_seconds=server_seconds,
-            coreset=built.coreset,
-            summary_dimension=cluster.dimension,
-        ).with_detail(
-            dispca_scalars=built.dispca.transmitted_scalars,
-            disss_scalars=built.disss.transmitted_scalars,
-        )
+    def build_stages(self) -> List[DistributedStage]:
+        return [self._bklw_stage()]
 
 
 class JLBKLWPipeline(MultiSourcePipeline):
@@ -240,45 +128,5 @@ class JLBKLWPipeline(MultiSourcePipeline):
 
     name = "JL+BKLW (Alg4)"
 
-    def run(self, shards: Sequence[np.ndarray]) -> PipelineReport:
-        shards = [check_matrix(s, "shard") for s in shards]
-        d = shards[0].shape[1]
-        total_n = sum(s.shape[0] for s in shards)
-        jl_dim = self._resolved_jl_dimension(total_n, d)
-        jl_seed = derive_seed(self._rng)
-
-        cluster = self._build_cluster(shards)
-
-        # Each source applies the shared-seed JL projection locally; this
-        # costs zero communication because the seed is pre-shared.
-        projection = JLProjection(d, jl_dim, seed=jl_seed)
-        for source in cluster.sources:
-            source.apply_jl(projection)
-
-        builder = BKLWCoreset(
-            k=self.k,
-            epsilon=self.epsilon,
-            delta=self.delta,
-            pca_rank=self._resolved_pca_rank(shards),
-            total_samples=self._resolved_samples(shards),
-            quantizer=self.quantizer,
-        )
-        built = builder.build(cluster.sources, cluster.server)
-
-        server_start = time.perf_counter()
-        result = cluster.server.solve_kmeans(built.coreset)
-        server_projection = JLProjection(d, jl_dim, seed=jl_seed)
-        centers = server_projection.inverse_transform(result.centers)
-        server_seconds = time.perf_counter() - server_start
-
-        return self._report(
-            cluster,
-            centers=centers,
-            server_seconds=server_seconds,
-            coreset=built.coreset,
-            summary_dimension=jl_dim,
-        ).with_detail(
-            dispca_scalars=built.dispca.transmitted_scalars,
-            disss_scalars=built.disss.transmitted_scalars,
-            jl_dimension=jl_dim,
-        )
+    def build_stages(self) -> List[DistributedStage]:
+        return [SharedJLStage(self.jl_dimension), self._bklw_stage()]

@@ -1,0 +1,398 @@
+"""The stage-composition execution engine.
+
+The seed implementations of the paper's algorithms each re-implemented the
+same protocol skeleton: time the source computation, meter every transmission
+through a :class:`~repro.distributed.network.SimulatedNetwork`, solve
+weighted k-means at the server, and lift the centers back through the
+inverses of whatever DR maps were applied.  This module owns that skeleton
+once, for *any* declarative composition of stages:
+
+* :class:`StagePipeline` executes a list of
+  :class:`~repro.stages.base.Stage` objects for a single data source;
+* :class:`DistributedStagePipeline` executes
+  :class:`~repro.stages.distributed.DistributedStage` objects over an
+  :class:`~repro.distributed.cluster.EdgeCluster` of shards.
+
+Both produce the same :class:`~repro.core.report.PipelineReport` as the seed
+pipelines — the classes in :mod:`repro.core.pipelines` and
+:mod:`repro.core.distributed_pipelines` are now thin factories over stage
+compositions, and :mod:`repro.core.registry` registers further compositions
+the monolithic implementations could not express.
+
+Protocol sequence (single source)
+---------------------------------
+1. **Seed handshake** — every stage with ``requires_shared_seed`` derives one
+   seed from the master generator, in declaration order, *before* any source
+   computation: data-oblivious DR maps are agreed upon by both end points up
+   front, which is why describing them costs zero communication.
+2. **Source** (timed) — stages transform the working
+   :class:`~repro.stages.base.SourceState`; the final state is encoded for
+   the wire (subspace summaries as coordinates + basis, coresets as points +
+   weights + shift, raw data as-is), quantizing the main payload on send.
+3. **Transmission** — every message is metered by the network.
+4. **Server** (timed) — reconstruct the summary, solve weighted k-means, and
+   pull the centers back through the recorded lifts in reverse stage order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.report import PipelineReport
+from repro.distributed.cluster import EdgeCluster
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.partition import partition_dataset
+from repro.kmeans.lloyd import WeightedKMeans
+from repro.quantization.rounding import RoundingQuantizer
+from repro.stages.base import SourceState, Stage, StageContext
+from repro.stages.distributed import DistributedStage, DistributedStageContext
+from repro.stages.qt import QuantizeStage
+from repro.utils.random import SeedLike, as_generator, derive_seed
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+_SOURCE = "source-0"
+
+
+@dataclass
+class WireSummary:
+    """A source state encoded for transmission.
+
+    ``messages`` are ``(tag, payload, significant_bits)`` triples in
+    transmission order; ``decode`` reconstructs the point set the server
+    solves on (run inside the server's timed section).
+    """
+
+    messages: List[Tuple[str, object, Optional[int]]]
+    decode: Callable[[], np.ndarray]
+    weights: Optional[np.ndarray]
+    cardinality: int
+    dimension: int
+    quantizer_bits: Optional[int]
+
+
+def encode_for_wire(state: SourceState) -> WireSummary:
+    """Encode a source state into the paper's wire formats.
+
+    * raw data → the (optionally quantized) matrix;
+    * subspace summary → per-point subspace coordinates (quantized) plus the
+      basis at full precision (Theorem 4.1's FSS format);
+    * coreset → points (quantized) plus weights and the shift Δ at full
+      precision (Section 6.2: only the points are quantized).
+    """
+    quantizer = state.wire_quantizer
+    bits: Optional[int] = None
+    if state.subspace is not None:
+        basis = state.subspace.basis  # (d_current, t)
+        payload = state.points @ basis
+        if quantizer is not None:
+            payload = quantizer.quantize(payload)
+            bits = quantizer.significant_bits
+        tag = "pca-coords" if state.is_raw else "coreset-coords"
+        messages: List[Tuple[str, object, Optional[int]]] = [
+            (tag, payload, bits),
+            ("pca-basis", basis, None),
+        ]
+        decode = lambda: payload @ basis.T  # noqa: E731 - captured payload/basis
+        dimension = int(basis.shape[1])
+    else:
+        payload = state.points
+        if quantizer is not None:
+            payload = quantizer.quantize(payload)
+            bits = quantizer.significant_bits
+        tag = "raw-data" if state.is_raw else "coreset-points"
+        messages = [(tag, payload, bits)]
+        decode = lambda: payload  # noqa: E731
+        dimension = int(payload.shape[1])
+    if not state.is_raw:
+        messages.append(("coreset-weights", state.weights, None))
+        messages.append(("coreset-shift", float(state.shift), None))
+    return WireSummary(
+        messages=messages,
+        decode=decode,
+        weights=state.weights,
+        cardinality=state.cardinality,
+        dimension=dimension,
+        quantizer_bits=bits,
+    )
+
+
+class StagePipeline:
+    """Execute a composition of stages for a single data source.
+
+    Parameters
+    ----------
+    stages:
+        The stage composition to execute.  Subclasses may instead override
+        :meth:`build_stages` (the eight paper pipelines do, deriving their
+        stages from the classic constructor arguments).
+    k:
+        Number of clusters.
+    epsilon, delta:
+        Accuracy / confidence parameters handed to every stage for derived
+        defaults.
+    quantizer:
+        Optional rounding quantizer; sugar for appending a
+        :class:`~repro.stages.qt.QuantizeStage` (the +QT variants of
+        Section 6).
+    server_n_init, server_max_iterations:
+        Parameters of the server-side weighted k-means solver.
+    seed:
+        Master seed controlling every random choice in the pipeline.
+    name:
+        Report label; defaults to the class-level ``name``.
+    """
+
+    #: Human-readable algorithm name; subclasses or ``name=`` override.
+    name: str = "stages"
+
+    def __init__(
+        self,
+        stages: Optional[Sequence[Stage]] = None,
+        *,
+        k: int,
+        epsilon: float = 0.2,
+        delta: float = 0.1,
+        quantizer: Optional[RoundingQuantizer] = None,
+        server_n_init: int = 5,
+        server_max_iterations: int = 100,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.epsilon = check_fraction(epsilon, "epsilon")
+        self.delta = check_fraction(delta, "delta")
+        self.quantizer = quantizer
+        self.server_n_init = check_positive_int(server_n_init, "server_n_init")
+        self.server_max_iterations = check_positive_int(
+            server_max_iterations, "server_max_iterations"
+        )
+        self._rng = as_generator(seed)
+        self._stages = None if stages is None else list(stages)
+        if name is not None:
+            self.name = str(name)
+
+    # -------------------------------------------------------------- assembly
+    def build_stages(self) -> List[Stage]:
+        """Return the stage composition for one run.
+
+        The default returns the stages given at construction; the concrete
+        paper pipelines override this to derive their composition from the
+        classic constructor arguments.
+        """
+        if self._stages is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must be given stages or override build_stages()"
+            )
+        return list(self._stages)
+
+    def _wire_stages(self) -> List[Stage]:
+        stages = self.build_stages()
+        if self.quantizer is not None:
+            stages.append(QuantizeStage(self.quantizer))
+        return stages
+
+    def _server_solver(self, seed: SeedLike) -> WeightedKMeans:
+        return WeightedKMeans(
+            k=self.k,
+            n_init=self.server_n_init,
+            max_iterations=self.server_max_iterations,
+            seed=seed,
+        )
+
+    @property
+    def quantizer_bits(self) -> Optional[int]:
+        return None if self.quantizer is None else self.quantizer.significant_bits
+
+    # ------------------------------------------------------------------ API
+    def run(self, points: np.ndarray) -> PipelineReport:
+        """Execute the composition on a dataset held by a single source."""
+        points = check_matrix(points, "points")
+        network = SimulatedNetwork()
+        ctx = StageContext(
+            k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
+        )
+        stages = self._wire_stages()
+
+        # Seed handshake: pre-shared randomness is agreed before the protocol
+        # runs, so data-oblivious maps cost zero communication.
+        for stage in stages:
+            stage.handshake(ctx)
+
+        # ---------------------------------------------------------- source
+        source_start = time.perf_counter()
+        state = SourceState(points=points)
+        lifts = []
+        details: Dict[str, float] = {}
+        for stage in stages:
+            effect = stage.apply_at_source(state, ctx)
+            state = effect.state
+            if effect.lift is not None:
+                lifts.append(effect.lift)
+            details.update(effect.details)
+        wire = encode_for_wire(state)
+        source_seconds = time.perf_counter() - source_start
+
+        for tag, payload, bits in wire.messages:
+            network.send(_SOURCE, "server", payload, tag=tag, significant_bits=bits)
+
+        # ---------------------------------------------------------- server
+        server_start = time.perf_counter()
+        summary_points = wire.decode()
+        solver = self._server_solver(ctx.derive_seed())
+        result = solver.fit(summary_points, wire.weights)
+        centers = result.centers
+        for lift in reversed(lifts):
+            centers = lift(centers)
+        server_seconds = time.perf_counter() - server_start
+
+        report = PipelineReport(
+            algorithm=self.name,
+            centers=centers,
+            communication_scalars=network.uplink_scalars(),
+            communication_bits=network.uplink_bits(),
+            source_seconds=source_seconds,
+            server_seconds=server_seconds,
+            summary_cardinality=wire.cardinality,
+            summary_dimension=wire.dimension,
+            quantizer_bits=wire.quantizer_bits,
+        )
+        return report.with_detail(**details)
+
+
+class DistributedStagePipeline:
+    """Execute a composition of distributed stages over per-source shards.
+
+    Owns the full multi-source skeleton: cluster construction, the seed
+    handshake, per-stage execution through the metered network, the server's
+    weighted k-means solve on the stage-produced coreset, lift-back, and the
+    report with the paper's parallel-complexity accounting (``source_seconds``
+    is the *maximum* per-source computation time; the per-source total is in
+    ``details``).
+    """
+
+    name: str = "stages (distributed)"
+
+    def __init__(
+        self,
+        stages: Optional[Sequence[DistributedStage]] = None,
+        *,
+        k: int,
+        epsilon: float = 1.0 / 3.0,
+        delta: float = 0.1,
+        quantizer: Optional[RoundingQuantizer] = None,
+        server_n_init: int = 5,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.epsilon = check_fraction(
+            epsilon, "epsilon", high=1.0 / 3.0, inclusive_high=True
+        )
+        self.delta = check_fraction(delta, "delta")
+        self.quantizer = quantizer
+        self.server_n_init = check_positive_int(server_n_init, "server_n_init")
+        self._rng = as_generator(seed)
+        self._stages = None if stages is None else list(stages)
+        if name is not None:
+            self.name = str(name)
+
+    # -------------------------------------------------------------- assembly
+    def build_stages(self) -> List[DistributedStage]:
+        if self._stages is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must be given stages or override build_stages()"
+            )
+        return list(self._stages)
+
+    @property
+    def quantizer_bits(self) -> Optional[int]:
+        return None if self.quantizer is None else self.quantizer.significant_bits
+
+    # ------------------------------------------------------------------ API
+    def run(self, shards: Sequence[np.ndarray]) -> PipelineReport:
+        """Execute the composition over per-source shards of the dataset."""
+        shards = [check_matrix(s, "shard") for s in shards]
+        if not shards:
+            raise ValueError("at least one shard is required")
+        stages = self.build_stages()
+        ctx = DistributedStageContext(
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            rng=self._rng,
+            quantizer=self.quantizer,
+            original_dimension=int(shards[0].shape[1]),
+            total_cardinality=int(sum(s.shape[0] for s in shards)),
+            min_cardinality=int(min(s.shape[0] for s in shards)),
+            num_sources=len(shards),
+        )
+
+        # Seed handshake before the cluster exists: pre-shared randomness is
+        # part of deployment configuration, not of the protocol run.
+        for stage in stages:
+            stage.handshake(ctx)
+
+        cluster = EdgeCluster.from_shards(
+            shards,
+            k=self.k,
+            seed=derive_seed(self._rng),
+            server_n_init=self.server_n_init,
+        )
+
+        coreset = None
+        lifts = []
+        details: Dict[str, float] = {}
+        for stage in stages:
+            effect = stage.apply_to_cluster(cluster, ctx)
+            if effect.coreset is not None:
+                coreset = effect.coreset
+            if effect.lift is not None:
+                lifts.append(effect.lift)
+            details.update(effect.details)
+        if coreset is None:
+            raise RuntimeError(
+                "the stage composition produced no summary for the server "
+                "(it needs a CR / gather stage)"
+            )
+
+        # ---------------------------------------------------------- server
+        server_start = time.perf_counter()
+        result = cluster.server.solve_kmeans(coreset)
+        centers = result.centers
+        for lift in reversed(lifts):
+            centers = lift(centers)
+        server_seconds = time.perf_counter() - server_start
+
+        report = PipelineReport(
+            algorithm=self.name,
+            centers=centers,
+            communication_scalars=cluster.network.uplink_scalars(),
+            communication_bits=cluster.network.uplink_bits(),
+            source_seconds=cluster.max_source_compute_seconds(),
+            server_seconds=server_seconds + cluster.server.compute_seconds,
+            summary_cardinality=coreset.size,
+            summary_dimension=cluster.dimension,
+            quantizer_bits=self.quantizer_bits,
+        )
+        return report.with_detail(
+            total_source_seconds=cluster.total_source_compute_seconds(),
+            num_sources=cluster.num_sources,
+            **details,
+        )
+
+    def run_on_dataset(
+        self,
+        points: np.ndarray,
+        num_sources: int,
+        strategy: str = "random",
+        partition_seed: SeedLike = None,
+    ) -> PipelineReport:
+        """Convenience wrapper: partition ``points`` and run the pipeline."""
+        points = check_matrix(points, "points")
+        seed = partition_seed if partition_seed is not None else derive_seed(self._rng)
+        indices = partition_dataset(points, num_sources, strategy=strategy, seed=seed)
+        return self.run([points[idx] for idx in indices])

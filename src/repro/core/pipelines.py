@@ -1,14 +1,23 @@
-"""Single-source pipelines: NR, FSS, and Algorithms 1–3.
+"""Single-source pipelines: NR, FSS, and Algorithms 1–3 as stage compositions.
 
-Every pipeline plays the two roles of the paper's protocol:
+Every pipeline plays the two roles of the paper's protocol — the *data
+source* computes a summary (DR / CR / QT), the *edge server* solves weighted
+k-means on it and lifts the centers back — but the protocol skeleton lives in
+:class:`~repro.core.engine.StagePipeline`.  Each class here is a thin
+factory: it keeps the classic constructor (summary-size overrides, optional
+quantizer, master seed) and declares its algorithm as a composition of
+stages:
 
-* the *data source* computes a summary (DR / CR / QT) — timed as the
-  paper's complexity metric and transmitted through a
-  :class:`~repro.distributed.network.SimulatedNetwork` so each scalar and
-  bit is metered;
-* the *edge server* solves weighted k-means on the received summary and
-  lifts the centers back to the original space through the (pseudo-)inverse
-  of whatever DR maps were applied.
+========================  =======================================
+``NoReductionPipeline``   (empty composition)
+``FSSPipeline``           ``FSS``
+``JLFSSPipeline``         ``JL ∘ FSS``            (Algorithm 1)
+``FSSJLPipeline``         ``FSS ∘ JL``            (Algorithm 2)
+``JLFSSJLPipeline``       ``JL ∘ FSS ∘ JL``       (Algorithm 3)
+========================  =======================================
+
+Further compositions (uniform-sampling baselines, PCA+SS, explicit QT
+stages) are registered in :mod:`repro.core.registry`.
 
 Parameter defaults follow the spirit of the paper's experiments
 (Section 7.1): rather than the pessimistic theoretical constants, summary
@@ -19,54 +28,30 @@ regime; every size can be overridden explicitly.
 from __future__ import annotations
 
 import abc
-import math
-import time
-from typing import Optional
+from typing import List, Optional
 
-import numpy as np
-
-from repro.core.report import PipelineReport
-from repro.cr.coreset import Coreset
-from repro.cr.fss import FSSCoreset
-from repro.distributed.network import SimulatedNetwork
-from repro.dr.jl import JLProjection, jl_target_dimension
-from repro.kmeans.lloyd import WeightedKMeans
+from repro.core.engine import StagePipeline
 from repro.quantization.rounding import RoundingQuantizer
-from repro.utils.random import SeedLike, as_generator, derive_seed
-from repro.utils.validation import (
-    check_fraction,
-    check_matrix,
-    check_positive_int,
-)
+from repro.stages.base import Stage
+from repro.stages.cr import FSSStage
+from repro.stages.dr import JLStage
+from repro.stages.sizing import default_coreset_size, default_jl_dimension
+from repro.utils.random import SeedLike
 
-_SOURCE = "source-0"
-
-
-def default_coreset_size(n: int, k: int) -> int:
-    """Practical default coreset cardinality used when none is given.
-
-    The theoretical ``Õ(k³/ε⁴)`` constants exceed laptop-scale dataset sizes,
-    so — as in the paper's experiments, which tune sizes for comparable
-    empirical error — the default is a size that is large enough for stable
-    k-means estimates yet a small fraction of ``n``.
-    """
-    return int(min(n, max(100, 200 * k)))
+__all__ = [
+    "default_coreset_size",
+    "default_jl_dimension",
+    "SingleSourcePipeline",
+    "NoReductionPipeline",
+    "FSSPipeline",
+    "JLFSSPipeline",
+    "FSSJLPipeline",
+    "JLFSSJLPipeline",
+]
 
 
-def default_jl_dimension(n: int, k: int, d: int, epsilon: float, delta: float) -> int:
-    """Practical default JL target dimension (never exceeding ``d``).
-
-    Uses the Lemma 4.1 form ``O(ε⁻² log(nk/δ))`` with constant 1; the
-    theoretical constant 8 routinely exceeds the ambient dimension at the
-    paper's scale.
-    """
-    return jl_target_dimension(
-        n, k, epsilon, delta, constant=1.0, max_dimension=d
-    )
-
-
-class SingleSourcePipeline(abc.ABC):
-    """Base class for single-data-source pipelines.
+class SingleSourcePipeline(StagePipeline, abc.ABC):
+    """Base class for the paper's single-data-source pipelines.
 
     Parameters
     ----------
@@ -82,7 +67,7 @@ class SingleSourcePipeline(abc.ABC):
         the coreset) in Algorithm 3; ignored by the other pipelines.  When
         omitted it is derived from the coreset cardinality via Lemma 4.2.
     quantizer:
-        Optional rounding quantizer applied to the transmitted coreset
+        Optional rounding quantizer applied to the transmitted summary
         points (the +QT variants of Section 6).
     server_n_init, server_max_iterations:
         Parameters of the server-side weighted k-means solver.
@@ -107,70 +92,27 @@ class SingleSourcePipeline(abc.ABC):
         server_max_iterations: int = 100,
         seed: SeedLike = None,
     ) -> None:
-        self.k = check_positive_int(k, "k")
-        self.epsilon = check_fraction(epsilon, "epsilon")
-        self.delta = check_fraction(delta, "delta")
+        super().__init__(
+            k=k,
+            epsilon=epsilon,
+            delta=delta,
+            quantizer=quantizer,
+            server_n_init=server_n_init,
+            server_max_iterations=server_max_iterations,
+            seed=seed,
+        )
         self.coreset_size = coreset_size
         self.pca_rank = pca_rank
         self.jl_dimension = jl_dimension
         self.second_jl_dimension = second_jl_dimension
-        self.quantizer = quantizer
-        self.server_n_init = check_positive_int(server_n_init, "server_n_init")
-        self.server_max_iterations = check_positive_int(
-            server_max_iterations, "server_max_iterations"
-        )
-        self._rng = as_generator(seed)
 
-    # -------------------------------------------------------------- helpers
-    def _resolved_coreset_size(self, n: int) -> int:
-        if self.coreset_size is not None:
-            return min(check_positive_int(self.coreset_size, "coreset_size"), n)
-        return default_coreset_size(n, self.k)
+    # -------------------------------------------------------------- assembly
+    def _fss_stage(self) -> FSSStage:
+        return FSSStage(size=self.coreset_size, pca_rank=self.pca_rank)
 
-    def _resolved_pca_rank(self, n: int, d: int) -> int:
-        if self.pca_rank is not None:
-            return min(check_positive_int(self.pca_rank, "pca_rank"), n, d)
-        # Practical default: enough directions to capture k clusters with
-        # slack, but far below the ambient dimension.
-        return max(self.k + 2, min(d, n, 5 * self.k))
-
-    def _resolved_jl_dimension(self, n: int, d: int) -> int:
-        if self.jl_dimension is not None:
-            return min(check_positive_int(self.jl_dimension, "jl_dimension"), d)
-        return default_jl_dimension(n, self.k, d, self.epsilon, self.delta)
-
-    def _fss(self, n: int, d: int, seed: SeedLike) -> FSSCoreset:
-        return FSSCoreset(
-            k=self.k,
-            epsilon=self.epsilon,
-            delta=self.delta,
-            size=self._resolved_coreset_size(n),
-            pca_rank=self._resolved_pca_rank(n, d),
-            seed=seed,
-        )
-
-    def _server_solver(self, seed: SeedLike) -> WeightedKMeans:
-        return WeightedKMeans(
-            k=self.k,
-            n_init=self.server_n_init,
-            max_iterations=self.server_max_iterations,
-            seed=seed,
-        )
-
-    def _quantize_for_transmission(self, points: np.ndarray) -> tuple[np.ndarray, Optional[int]]:
-        """Apply the quantizer (if any) and return (payload, significant_bits)."""
-        if self.quantizer is None:
-            return points, None
-        return self.quantizer.quantize(points), self.quantizer.significant_bits
-
-    @property
-    def quantizer_bits(self) -> Optional[int]:
-        return None if self.quantizer is None else self.quantizer.significant_bits
-
-    # ------------------------------------------------------------------ API
     @abc.abstractmethod
-    def run(self, points: np.ndarray) -> PipelineReport:
-        """Execute the pipeline on a dataset held by a single data source."""
+    def build_stages(self) -> List[Stage]:
+        """Declare the algorithm's stage composition."""
 
 
 class NoReductionPipeline(SingleSourcePipeline):
@@ -182,32 +124,8 @@ class NoReductionPipeline(SingleSourcePipeline):
 
     name = "NR"
 
-    def run(self, points: np.ndarray) -> PipelineReport:
-        points = check_matrix(points, "points")
-        n, d = points.shape
-        network = SimulatedNetwork()
-
-        source_start = time.perf_counter()
-        payload, bits = self._quantize_for_transmission(points)
-        source_seconds = time.perf_counter() - source_start
-        network.send(_SOURCE, "server", payload, tag="raw-data", significant_bits=bits)
-
-        server_start = time.perf_counter()
-        solver = self._server_solver(derive_seed(self._rng))
-        result = solver.fit(payload)
-        server_seconds = time.perf_counter() - server_start
-
-        return PipelineReport(
-            algorithm=self.name,
-            centers=result.centers,
-            communication_scalars=network.uplink_scalars(),
-            communication_bits=network.uplink_bits(),
-            source_seconds=source_seconds,
-            server_seconds=server_seconds,
-            summary_cardinality=n,
-            summary_dimension=d,
-            quantizer_bits=self.quantizer_bits,
-        )
+    def build_stages(self) -> List[Stage]:
+        return []
 
 
 class FSSPipeline(SingleSourcePipeline):
@@ -222,103 +140,23 @@ class FSSPipeline(SingleSourcePipeline):
 
     name = "FSS"
 
-    def run(self, points: np.ndarray) -> PipelineReport:
-        points = check_matrix(points, "points")
-        n, d = points.shape
-        network = SimulatedNetwork()
-
-        # ---------------------------------------------------------- source
-        source_start = time.perf_counter()
-        fss = self._fss(n, d, derive_seed(self._rng))
-        built = fss.build(points)
-        coreset = built.coreset
-        basis = built.pca.basis                       # (d, t)
-        coords = coreset.points @ basis               # (|S|, t)
-        payload_coords, bits = self._quantize_for_transmission(coords)
-        source_seconds = time.perf_counter() - source_start
-
-        network.send(_SOURCE, "server", payload_coords, tag="coreset-coords",
-                     significant_bits=bits)
-        network.send(_SOURCE, "server", basis, tag="pca-basis")
-        network.send(_SOURCE, "server", coreset.weights, tag="coreset-weights")
-        network.send(_SOURCE, "server", float(coreset.shift), tag="coreset-shift")
-
-        # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
-        reconstructed = payload_coords @ basis.T
-        solver = self._server_solver(derive_seed(self._rng))
-        result = solver.fit(reconstructed, coreset.weights)
-        server_seconds = time.perf_counter() - server_start
-
-        return PipelineReport(
-            algorithm=self.name,
-            centers=result.centers,
-            communication_scalars=network.uplink_scalars(),
-            communication_bits=network.uplink_bits(),
-            source_seconds=source_seconds,
-            server_seconds=server_seconds,
-            summary_cardinality=coreset.size,
-            summary_dimension=basis.shape[1],
-            quantizer_bits=self.quantizer_bits,
-        )
+    def build_stages(self) -> List[Stage]:
+        return [self._fss_stage()]
 
 
 class JLFSSPipeline(SingleSourcePipeline):
     """Algorithm 1 (DR + CR): JL projection, then FSS, at the data source.
 
-    The JL map is derived from a seed shared with the server, so describing
-    it costs nothing; the coreset is built in the projected space and the
-    server lifts the computed centers back through the Moore–Penrose inverse.
+    The JL map is derived from a seed shared with the server (the engine's
+    seed handshake), so describing it costs nothing; the coreset is built in
+    the projected space and the server lifts the computed centers back
+    through the Moore–Penrose inverse.
     """
 
     name = "JL+FSS (Alg1)"
 
-    def run(self, points: np.ndarray) -> PipelineReport:
-        points = check_matrix(points, "points")
-        n, d = points.shape
-        network = SimulatedNetwork()
-        jl_dim = self._resolved_jl_dimension(n, d)
-        # The projection seed is pre-shared: both end points can construct it.
-        jl_seed = derive_seed(self._rng)
-
-        # ---------------------------------------------------------- source
-        source_start = time.perf_counter()
-        projection = JLProjection(d, jl_dim, seed=jl_seed)
-        projected = projection.transform(points)
-        fss = self._fss(n, jl_dim, derive_seed(self._rng))
-        built = fss.build(projected)
-        coreset = built.coreset
-        basis = built.pca.basis                     # (d', t)
-        coords = coreset.points @ basis             # (|S|, t)
-        payload_coords, bits = self._quantize_for_transmission(coords)
-        source_seconds = time.perf_counter() - source_start
-
-        network.send(_SOURCE, "server", payload_coords, tag="coreset-coords",
-                     significant_bits=bits)
-        network.send(_SOURCE, "server", basis, tag="pca-basis")
-        network.send(_SOURCE, "server", coreset.weights, tag="coreset-weights")
-        network.send(_SOURCE, "server", float(coreset.shift), tag="coreset-shift")
-
-        # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
-        server_projection = JLProjection(d, jl_dim, seed=jl_seed)
-        reconstructed = payload_coords @ basis.T     # points in the d'-space
-        solver = self._server_solver(derive_seed(self._rng))
-        result = solver.fit(reconstructed, coreset.weights)
-        centers = server_projection.inverse_transform(result.centers)
-        server_seconds = time.perf_counter() - server_start
-
-        return PipelineReport(
-            algorithm=self.name,
-            centers=centers,
-            communication_scalars=network.uplink_scalars(),
-            communication_bits=network.uplink_bits(),
-            source_seconds=source_seconds,
-            server_seconds=server_seconds,
-            summary_cardinality=coreset.size,
-            summary_dimension=basis.shape[1],
-            quantizer_bits=self.quantizer_bits,
-        )
+    def build_stages(self) -> List[Stage]:
+        return [JLStage(self.jl_dimension), self._fss_stage()]
 
 
 class FSSJLPipeline(SingleSourcePipeline):
@@ -333,50 +171,8 @@ class FSSJLPipeline(SingleSourcePipeline):
 
     name = "FSS+JL (Alg2)"
 
-    def run(self, points: np.ndarray) -> PipelineReport:
-        points = check_matrix(points, "points")
-        n, d = points.shape
-        network = SimulatedNetwork()
-        jl_seed = derive_seed(self._rng)
-
-        # ---------------------------------------------------------- source
-        source_start = time.perf_counter()
-        fss = self._fss(n, d, derive_seed(self._rng))
-        built = fss.build(points)
-        coreset = built.coreset
-        jl_dim = self.jl_dimension or default_jl_dimension(
-            max(coreset.size, 2), self.k, d, self.epsilon, self.delta
-        )
-        jl_dim = min(jl_dim, d)
-        projection = JLProjection(d, jl_dim, seed=jl_seed)
-        projected_coreset = coreset.transform(projection)
-        payload_points, bits = self._quantize_for_transmission(projected_coreset.points)
-        source_seconds = time.perf_counter() - source_start
-
-        network.send(_SOURCE, "server", payload_points, tag="coreset-points",
-                     significant_bits=bits)
-        network.send(_SOURCE, "server", coreset.weights, tag="coreset-weights")
-        network.send(_SOURCE, "server", float(coreset.shift), tag="coreset-shift")
-
-        # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
-        server_projection = JLProjection(d, jl_dim, seed=jl_seed)
-        solver = self._server_solver(derive_seed(self._rng))
-        result = solver.fit(payload_points, coreset.weights)
-        centers = server_projection.inverse_transform(result.centers)
-        server_seconds = time.perf_counter() - server_start
-
-        return PipelineReport(
-            algorithm=self.name,
-            centers=centers,
-            communication_scalars=network.uplink_scalars(),
-            communication_bits=network.uplink_bits(),
-            source_seconds=source_seconds,
-            server_seconds=server_seconds,
-            summary_cardinality=coreset.size,
-            summary_dimension=jl_dim,
-            quantizer_bits=self.quantizer_bits,
-        )
+    def build_stages(self) -> List[Stage]:
+        return [self._fss_stage(), JLStage(self.jl_dimension)]
 
 
 class JLFSSJLPipeline(SingleSourcePipeline):
@@ -390,58 +186,9 @@ class JLFSSJLPipeline(SingleSourcePipeline):
 
     name = "JL+FSS+JL (Alg3)"
 
-    def run(self, points: np.ndarray) -> PipelineReport:
-        points = check_matrix(points, "points")
-        n, d = points.shape
-        network = SimulatedNetwork()
-        first_seed = derive_seed(self._rng)
-        second_seed = derive_seed(self._rng)
-
-        # ---------------------------------------------------------- source
-        source_start = time.perf_counter()
-        first_dim = self._resolved_jl_dimension(n, d)
-        first = JLProjection(d, first_dim, seed=first_seed)
-        projected = first.transform(points)
-
-        fss = self._fss(n, first_dim, derive_seed(self._rng))
-        built = fss.build(projected)
-        coreset = built.coreset
-
-        second_dim = default_jl_dimension(
-            max(coreset.size, 2), self.k, first_dim, self.epsilon, self.delta
-        )
-        if self.second_jl_dimension is not None:
-            second_dim = min(
-                check_positive_int(self.second_jl_dimension, "second_jl_dimension"),
-                first_dim,
-            )
-        second = JLProjection(first_dim, second_dim, seed=second_seed)
-        reduced_coreset = coreset.transform(second)
-        payload_points, bits = self._quantize_for_transmission(reduced_coreset.points)
-        source_seconds = time.perf_counter() - source_start
-
-        network.send(_SOURCE, "server", payload_points, tag="coreset-points",
-                     significant_bits=bits)
-        network.send(_SOURCE, "server", coreset.weights, tag="coreset-weights")
-        network.send(_SOURCE, "server", float(coreset.shift), tag="coreset-shift")
-
-        # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
-        server_first = JLProjection(d, first_dim, seed=first_seed)
-        server_second = JLProjection(first_dim, second_dim, seed=second_seed)
-        solver = self._server_solver(derive_seed(self._rng))
-        result = solver.fit(payload_points, coreset.weights)
-        centers = server_first.lift_through(server_second, result.centers)
-        server_seconds = time.perf_counter() - server_start
-
-        return PipelineReport(
-            algorithm=self.name,
-            centers=centers,
-            communication_scalars=network.uplink_scalars(),
-            communication_bits=network.uplink_bits(),
-            source_seconds=source_seconds,
-            server_seconds=server_seconds,
-            summary_cardinality=coreset.size,
-            summary_dimension=second_dim,
-            quantizer_bits=self.quantizer_bits,
-        )
+    def build_stages(self) -> List[Stage]:
+        return [
+            JLStage(self.jl_dimension),
+            self._fss_stage(),
+            JLStage(self.second_jl_dimension),
+        ]

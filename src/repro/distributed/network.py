@@ -10,9 +10,8 @@ per-algorithm communication numbers are directly comparable.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -115,7 +114,6 @@ class SimulatedNetwork:
 
     def __init__(self) -> None:
         self.log = TransmissionLog()
-        self._counter = itertools.count()
 
     def send(
         self,

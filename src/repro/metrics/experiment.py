@@ -14,8 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.pipelines import SingleSourcePipeline
-from repro.core.distributed_pipelines import MultiSourcePipeline
+from repro.core.engine import DistributedStagePipeline, StagePipeline
 from repro.distributed.partition import partition_dataset
 from repro.metrics.evaluation import (
     EvaluationContext,
@@ -143,9 +142,9 @@ class ExperimentRunner:
         for run_seed in self._run_seeds:
             for label, factory in factories.items():
                 pipeline = factory(run_seed)
-                if not isinstance(pipeline, SingleSourcePipeline):
+                if not isinstance(pipeline, StagePipeline):
                     raise TypeError(
-                        f"factory {label!r} must build a SingleSourcePipeline"
+                        f"factory {label!r} must build a single-source StagePipeline"
                     )
                 report = pipeline.run(self.points)
                 result.add(label, evaluate_report(report, self.context))
@@ -171,10 +170,66 @@ class ExperimentRunner:
             shards = [self.points[idx] for idx in indices]
             for label, factory in factories.items():
                 pipeline = factory(run_seed)
-                if not isinstance(pipeline, MultiSourcePipeline):
+                if not isinstance(pipeline, DistributedStagePipeline):
                     raise TypeError(
-                        f"factory {label!r} must build a MultiSourcePipeline"
+                        f"factory {label!r} must build a DistributedStagePipeline"
                     )
                 report = pipeline.run(shards)
                 result.add(label, evaluate_report(report, self.context))
+        return result
+
+    def run_registered(
+        self,
+        names: Sequence[str],
+        num_sources: Optional[int] = None,
+        strategy: str = "random",
+        **overrides,
+    ) -> ExperimentResult:
+        """Run registry compositions by name (single- and multi-source mixed).
+
+        Every name is resolved through :mod:`repro.core.registry`; the
+        ``overrides`` (``coreset_size``, ``jl_dimension``, ``quantizer``, …)
+        are forwarded to each factory, which picks the arguments its kind
+        accepts.  ``k`` and ``seed`` are owned by the runner (the evaluation
+        context is built for ``self.k``; seeds are the per-run Monte-Carlo
+        seeds) and cannot be overridden here.  Multi-source compositions
+        require ``num_sources``.
+        """
+        from repro.core import registry
+
+        reserved = {"k", "seed"} & overrides.keys()
+        if reserved:
+            raise ValueError(
+                f"run_registered controls {sorted(reserved)}; configure them "
+                "on the ExperimentRunner instead"
+            )
+
+        single: Dict[str, PipelineFactory] = {}
+        multi: Dict[str, PipelineFactory] = {}
+
+        def factory_for(name: str) -> PipelineFactory:
+            return lambda seed: registry.create_pipeline(
+                name, k=self.k, seed=seed, **overrides
+            )
+
+        for name in names:
+            target = multi if registry.is_multi_source(name) else single
+            target[name] = factory_for(name)
+        if multi and num_sources is None:
+            raise ValueError(
+                f"num_sources is required for multi-source pipelines: {sorted(multi)}"
+            )
+
+        result = ExperimentResult()
+        if single:
+            for label, evals in self.run_single_source(single).evaluations.items():
+                for evaluation in evals:
+                    result.add(label, evaluation)
+        if multi:
+            multi_result = self.run_multi_source(
+                multi, num_sources=num_sources, strategy=strategy
+            )
+            for label, evals in multi_result.evaluations.items():
+                for evaluation in evals:
+                    result.add(label, evaluation)
         return result

@@ -1,0 +1,58 @@
+"""Composable DR / CR / QT stages — the building blocks of every pipeline.
+
+The paper's algorithms are compositions of dimensionality reduction,
+cardinality reduction, and quantization.  This package defines the
+:class:`Stage` protocol plus the concrete stages, and
+:mod:`repro.core.engine` provides the pipelines that execute any composition
+with unified timing, network metering, server-side solving, and center
+lift-back.  See :mod:`repro.core.registry` for the named compositions.
+"""
+
+from repro.stages.base import (
+    CenterLift,
+    SourceState,
+    Stage,
+    StageContext,
+    StageEffect,
+)
+from repro.stages.cr import FSSStage, SensitivityStage, UniformStage
+from repro.stages.distributed import (
+    BKLWStage,
+    DistributedStage,
+    DistributedStageContext,
+    DistributedStageEffect,
+    RawGatherStage,
+    SharedJLStage,
+)
+from repro.stages.dr import JLStage, PCAStage
+from repro.stages.qt import QuantizeStage
+from repro.stages.sizing import (
+    default_coreset_size,
+    default_distributed_samples,
+    default_jl_dimension,
+    default_pca_rank,
+)
+
+__all__ = [
+    "Stage",
+    "StageContext",
+    "StageEffect",
+    "SourceState",
+    "CenterLift",
+    "JLStage",
+    "PCAStage",
+    "FSSStage",
+    "SensitivityStage",
+    "UniformStage",
+    "QuantizeStage",
+    "DistributedStage",
+    "DistributedStageContext",
+    "DistributedStageEffect",
+    "SharedJLStage",
+    "BKLWStage",
+    "RawGatherStage",
+    "default_coreset_size",
+    "default_jl_dimension",
+    "default_pca_rank",
+    "default_distributed_samples",
+]

@@ -1,0 +1,109 @@
+"""Dimensionality-reduction stages: JL projections and in-place PCA.
+
+``JLStage`` is data-oblivious: its matrix is a function of ``(d, d', seed)``
+only, so the seed handshake lets the server re-derive the identical map and
+describing it costs zero communication.  Its lift is the Moore–Penrose
+pseudo-inverse (Section 3.1).
+
+``PCAStage`` is the FSS-style *in-place* projection ``A -> A V Vᵀ``: the
+points stay in ambient coordinates but now span the rank-``t`` principal
+subspace, the discarded tail energy ``‖A − A V Vᵀ‖²_F`` joins the coreset
+shift Δ, and the fitted basis is recorded on the state so the wire format can
+send ``t`` coordinates per point plus the basis (``d·t`` scalars) — the term
+that dominates FSS's communication and that a subsequent JL stage removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dr.jl import JLProjection
+from repro.dr.pca import PCAProjection
+from repro.stages.base import Stage, StageContext, StageEffect, SourceState
+from repro.stages.sizing import default_jl_dimension, default_pca_rank
+from repro.utils.validation import check_positive_int
+
+
+class JLStage(Stage):
+    """Apply a shared-seed JL projection to the current point set.
+
+    Parameters
+    ----------
+    dimension:
+        Explicit target dimension ``d'`` (capped at the input dimension);
+        when omitted it is derived from the state via Lemma 4.1 (raw data,
+        cardinality ``n``) or Lemma 4.2 (coreset, cardinality ``|S|``).
+    ensemble:
+        Matrix ensemble, ``"gaussian"`` or ``"rademacher"``.
+    """
+
+    name = "JL"
+    requires_shared_seed = True
+
+    def __init__(self, dimension: Optional[int] = None, ensemble: str = "gaussian") -> None:
+        self.dimension = dimension
+        self.ensemble = ensemble
+
+    def resolve_dimension(self, state: SourceState, ctx: StageContext) -> int:
+        d = state.dimension
+        if self.dimension is not None:
+            return min(check_positive_int(self.dimension, "jl_dimension"), d)
+        reference_n = state.cardinality if state.is_raw else max(state.cardinality, 2)
+        return default_jl_dimension(reference_n, ctx.k, d, ctx.epsilon, ctx.delta)
+
+    def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
+        d = state.dimension
+        target = self.resolve_dimension(state, ctx)
+        seed = self.shared_seed
+        projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
+        projected = projection.transform(state.points)
+
+        def lift(centers):
+            # The server re-derives the identical map from the shared seed.
+            server_projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
+            return server_projection.inverse_transform(centers)
+
+        return StageEffect(
+            # The projection moves the points out of any recorded subspace.
+            state=state.evolve(points=projected, subspace=None),
+            lift=lift,
+            details={"jl_dimension": float(target)},
+        )
+
+
+class PCAStage(Stage):
+    """Project the points in place onto their top-``rank`` principal subspace.
+
+    The stage records the fitted basis on the state (so the engine can use
+    the compact FSS wire format) and adds the discarded tail energy to the
+    shift Δ, exactly as FSS does (Theorem 3.2 / Definition 3.2).  Composing
+    ``PCAStage`` with ``SensitivityStage`` recreates FSS from primitive
+    stages.
+    """
+
+    name = "PCA"
+
+    def __init__(self, rank: Optional[int] = None, approximate: bool = False) -> None:
+        self.rank = rank
+        self.approximate = approximate
+
+    def resolve_rank(self, state: SourceState, ctx: StageContext) -> int:
+        n, d = state.cardinality, state.dimension
+        if self.rank is not None:
+            return min(check_positive_int(self.rank, "pca_rank"), n, d)
+        return default_pca_rank(n, d, ctx.k)
+
+    def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
+        rank = self.resolve_rank(state, ctx)
+        pca = PCAProjection(rank=rank, approximate=self.approximate, seed=ctx.derive_seed())
+        pca.fit(state.points)
+        projected = pca.project_in_place(state.points)
+        tail_energy = pca.residual_energy(state.points)
+        return StageEffect(
+            state=state.evolve(
+                points=projected,
+                shift=state.shift + tail_energy,
+                subspace=pca,
+            ),
+            details={"pca_rank": float(pca.effective_rank)},
+        )

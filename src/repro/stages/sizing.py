@@ -1,0 +1,40 @@
+"""Practical default summary sizes shared by the stages and the pipelines.
+
+The theoretical constants of the paper (``Õ(k³/ε⁴)`` coresets,
+``8 ε⁻² log(nk/δ)`` JL dimensions) exceed laptop-scale dataset sizes, so —
+as in the paper's experiments (Section 7.1), which tune summary sizes so all
+algorithms land in a comparable empirical error regime — these defaults are
+large enough for stable k-means estimates yet a small fraction of the data.
+Every stage accepts an explicit override.
+"""
+
+from __future__ import annotations
+
+from repro.dr.jl import jl_target_dimension
+
+
+def default_coreset_size(n: int, k: int) -> int:
+    """Practical default coreset cardinality used when none is given."""
+    return int(min(n, max(100, 200 * k)))
+
+
+def default_jl_dimension(n: int, k: int, d: int, epsilon: float, delta: float) -> int:
+    """Practical default JL target dimension (never exceeding ``d``).
+
+    Uses the Lemma 4.1 form ``O(ε⁻² log(nk/δ))`` with constant 1; the
+    theoretical constant 8 routinely exceeds the ambient dimension at the
+    paper's scale.
+    """
+    return jl_target_dimension(n, k, epsilon, delta, constant=1.0, max_dimension=d)
+
+
+def default_pca_rank(n: int, d: int, k: int) -> int:
+    """Practical default PCA / FSS intrinsic rank ``t``: enough directions to
+    capture ``k`` clusters with slack, but far below the ambient dimension."""
+    return max(k + 2, min(d, n, 5 * k))
+
+
+def default_distributed_samples(m: int, k: int) -> int:
+    """Practical default for the disSS global sample budget across ``m``
+    sources (Theorem 5.2's constants exceed laptop-scale sizes)."""
+    return max(100, 100 * k, 20 * m * k)
