@@ -9,7 +9,9 @@ applied here at laptop scale.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 import numpy as np
@@ -168,3 +170,83 @@ def run_once(benchmark, fn: Callable[[], object]):
     """Run ``fn`` exactly once under pytest-benchmark timing (the experiment
     repeats measurements internally via Monte-Carlo runs)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark persistence (perf trajectory across PRs).
+# ---------------------------------------------------------------------------
+
+#: Directory the BENCH_<category>.json files are written to; CI uploads it as
+#: an artifact so the perf trajectory is comparable across PRs.
+RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
+
+
+def bench_rows(result, wall_seconds: Optional[float] = None) -> Dict[str, Dict[str, float]]:
+    """Collapse an ExperimentResult into persistable per-algorithm rows:
+    normalized cost, communication in scalars and bits, source compute time,
+    and (optionally) the wall-clock time of the whole experiment."""
+    rows = summarize_result(
+        result,
+        metrics=(
+            "normalized_cost",
+            "normalized_communication",
+            "communication_scalars",
+            "communication_bits",
+            "source_seconds",
+        ),
+    )
+    for label, metrics in rows.items():
+        metrics["runs"] = float(len(result.evaluations[label]))
+        if wall_seconds is not None:
+            metrics["wall_seconds"] = float(wall_seconds)
+    return rows
+
+
+def record_bench(category: str, rows: Dict[str, Dict[str, float]]) -> str:
+    """Merge ``rows`` into ``BENCH_<category>.json`` and return its path.
+
+    Several tests contribute to one category file (each merges its own
+    algorithm rows); re-running a test overwrites its rows in place.  The
+    run configuration (scale, Monte-Carlo runs, sources, timestamp) is
+    recorded *per row*, so rows written under different configurations keep
+    their own provenance when merged into the same file.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{category}.json")
+    payload = {"meta": {"category": category}, "algorithms": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing.get("algorithms"), dict):
+                payload["algorithms"].update(existing["algorithms"])
+        except (OSError, ValueError):
+            pass  # a corrupt previous file is replaced wholesale
+    provenance = {
+        "scale": SCALE,
+        "monte_carlo_runs": float(MONTE_CARLO_RUNS),
+        "num_sources": float(NUM_SOURCES),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    for name, metrics in rows.items():
+        row = {k: float(v) for k, v in metrics.items()}
+        row.update(provenance)
+        payload["algorithms"][name] = row
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def record_result(category: str, result, wall_seconds: Optional[float] = None,
+                  prefix: str = "") -> str:
+    """Persist an ExperimentResult under ``category`` (labels optionally
+    prefixed, e.g. with the dataset name)."""
+    rows = bench_rows(result, wall_seconds=wall_seconds)
+    if prefix:
+        rows = {f"{prefix}:{label}": metrics for label, metrics in rows.items()}
+    return record_bench(category, rows)

@@ -1,0 +1,68 @@
+"""S1 — Streaming vs one-shot: quality and communication of the stream mode.
+
+Not a paper figure: the paper's protocols are one-shot.  This scenario
+validates the streaming subsystem's core promise — merge-and-reduce coreset
+trees over batched arrivals reach the same cost regime as compressing the
+whole dataset at once — and records the streamed/one-shot cost and
+communication trade-off into ``BENCH_streaming.json`` so the trajectory is
+tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_helpers import MONTE_CARLO_RUNS, SCALE, print_table, record_result, run_once, summarize_result
+from repro.datasets import make_gaussian_mixture
+from repro.metrics import ExperimentRunner
+
+K = 4
+CORESET_SIZE = 200
+NUM_SOURCES = 4
+BATCH_SIZE = 1024
+ALGORITHMS = ("fss", "stream-fss", "stream-jl-ss", "stream-uniform-qt")
+
+
+@pytest.fixture(scope="module")
+def stream_runner():
+    n = max(4000, int(20000 * SCALE))
+    points, _, _ = make_gaussian_mixture(n=n, d=32, k=K, separation=5.0, seed=20)
+    return ExperimentRunner(points, k=K, monte_carlo_runs=MONTE_CARLO_RUNS, seed=21)
+
+
+def _experiment(runner):
+    start = time.perf_counter()
+    result = runner.run_registered(
+        ALGORITHMS,
+        num_sources=NUM_SOURCES,
+        coreset_size=CORESET_SIZE,
+        batch_size=BATCH_SIZE,
+    )
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_matches_one_shot(benchmark, stream_runner):
+    result, wall = run_once(benchmark, lambda: _experiment(stream_runner))
+    record_result("streaming", result, wall_seconds=wall)
+    rows = summarize_result(result)
+    print_table(
+        "Streaming vs one-shot (Gaussian mixture)",
+        rows,
+        ["normalized_cost", "normalized_communication", "source_seconds"],
+    )
+    costs = result.table("normalized_cost")
+    # The streamed FSS summary answers the end-of-stream query in the same
+    # cost regime as the one-shot FSS compression of the whole dataset.
+    assert costs["stream-fss"] <= costs["fss"] * 1.15 + 0.05
+    # Every streamed variant still transmits a fraction of the raw data.
+    comm = result.table("normalized_communication")
+    for name in ALGORITHMS:
+        if name.startswith("stream"):
+            assert comm[name] < 1.0, (name, comm[name])
+    # Quantized streaming is cheaper on the wire than unquantized streaming
+    # of the same cardinality regime.
+    assert comm["stream-uniform-qt"] < comm["stream-fss"]

@@ -11,20 +11,33 @@ FSS because they avoid shipping the d x t PCA basis.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from bench_helpers import print_table, run_once, single_source_factories, summarize_result
+from bench_helpers import (
+    print_table,
+    record_result,
+    run_once,
+    single_source_factories,
+    summarize_result,
+)
 
 
 def _table(runner, d):
+    start = time.perf_counter()
     result = runner.run_single_source(single_source_factories(d, include_nr=True))
-    return result, summarize_result(result, metrics=("normalized_communication", "normalized_cost"))
+    wall = time.perf_counter() - start
+    return result, wall, summarize_result(
+        result, metrics=("normalized_communication", "normalized_cost")
+    )
 
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_mnist(benchmark, mnist_runner, mnist_dataset):
     points, _ = mnist_dataset
-    result, rows = run_once(benchmark, lambda: _table(mnist_runner, points.shape[1]))
+    result, wall, rows = run_once(benchmark, lambda: _table(mnist_runner, points.shape[1]))
+    record_result("batch", result, wall_seconds=wall, prefix="mnist")
     print_table("Table 3 (MNIST-like): normalized communication cost", rows,
                 ["normalized_communication", "normalized_cost"])
     table = result.table("normalized_communication")
@@ -40,7 +53,8 @@ def test_table3_mnist(benchmark, mnist_runner, mnist_dataset):
 @pytest.mark.benchmark(group="table3")
 def test_table3_neurips(benchmark, neurips_runner, neurips_dataset):
     points, _ = neurips_dataset
-    result, rows = run_once(benchmark, lambda: _table(neurips_runner, points.shape[1]))
+    result, wall, rows = run_once(benchmark, lambda: _table(neurips_runner, points.shape[1]))
+    record_result("batch", result, wall_seconds=wall, prefix="neurips")
     print_table("Table 3 (NeurIPS-like): normalized communication cost", rows,
                 ["normalized_communication", "normalized_cost"])
     table = result.table("normalized_communication")

@@ -11,21 +11,34 @@ sketches and disSS samples travel in the JL-reduced dimension.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from bench_helpers import NUM_SOURCES
-from bench_helpers import multi_source_factories, print_table, run_once, summarize_result
+from bench_helpers import (
+    multi_source_factories,
+    print_table,
+    record_result,
+    run_once,
+    summarize_result,
+)
 
 
 def _table(runner, d):
+    start = time.perf_counter()
     result = runner.run_multi_source(multi_source_factories(d), num_sources=NUM_SOURCES)
-    return result, summarize_result(result, metrics=("normalized_communication", "normalized_cost"))
+    wall = time.perf_counter() - start
+    return result, wall, summarize_result(
+        result, metrics=("normalized_communication", "normalized_cost")
+    )
 
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_mnist(benchmark, mnist_runner, mnist_dataset):
     points, _ = mnist_dataset
-    result, rows = run_once(benchmark, lambda: _table(mnist_runner, points.shape[1]))
+    result, wall, rows = run_once(benchmark, lambda: _table(mnist_runner, points.shape[1]))
+    record_result("batch", result, wall_seconds=wall, prefix="mnist")
     rows["NR"] = {"normalized_communication": 1.0, "normalized_cost": 1.0}
     print_table("Table 4 (MNIST-like): normalized communication cost", rows,
                 ["normalized_communication", "normalized_cost"])
@@ -37,7 +50,8 @@ def test_table4_mnist(benchmark, mnist_runner, mnist_dataset):
 @pytest.mark.benchmark(group="table4")
 def test_table4_neurips(benchmark, neurips_runner, neurips_dataset):
     points, _ = neurips_dataset
-    result, rows = run_once(benchmark, lambda: _table(neurips_runner, points.shape[1]))
+    result, wall, rows = run_once(benchmark, lambda: _table(neurips_runner, points.shape[1]))
+    record_result("batch", result, wall_seconds=wall, prefix="neurips")
     rows["NR"] = {"normalized_communication": 1.0, "normalized_cost": 1.0}
     print_table("Table 4 (NeurIPS-like): normalized communication cost", rows,
                 ["normalized_communication", "normalized_cost"])

@@ -25,6 +25,9 @@ from repro.core import (
     PipelineReport,
     StagePipeline,
     DistributedStagePipeline,
+    StreamingEngine,
+    StreamingReport,
+    QuerySnapshot,
     SingleSourcePipeline,
     NoReductionPipeline,
     FSSPipeline,
@@ -71,7 +74,10 @@ from repro.datasets import (
     make_mnist_like,
     make_neurips_like,
     load_benchmark_dataset,
+    iter_batches,
+    make_drifting_stream,
 )
+from repro.streaming import CoresetTree, StreamingServer, StreamingSource
 from repro.metrics import ExperimentRunner, EvaluationContext, evaluate_report
 
 __version__ = "1.1.0"
@@ -80,6 +86,12 @@ __all__ = [
     "PipelineReport",
     "StagePipeline",
     "DistributedStagePipeline",
+    "StreamingEngine",
+    "StreamingReport",
+    "QuerySnapshot",
+    "CoresetTree",
+    "StreamingSource",
+    "StreamingServer",
     "PipelineSpec",
     "register_pipeline",
     "create_pipeline",
@@ -132,6 +144,8 @@ __all__ = [
     "make_mnist_like",
     "make_neurips_like",
     "load_benchmark_dataset",
+    "iter_batches",
+    "make_drifting_stream",
     "ExperimentRunner",
     "EvaluationContext",
     "evaluate_report",

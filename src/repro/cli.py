@@ -7,14 +7,18 @@ Example invocations::
     python -m repro --dataset mnist --algorithm jl-fss --quantize-bits 10 --runs 3
     python -m repro --algorithm pca-ss --n 500 --d 100   # registry composition
     python -m repro --list-algorithms
+    python -m repro stream --algorithm stream-fss --batch-size 512 --query-every 4
+    python -m repro stream --algorithm stream-fss-window --window 8
 
 Algorithms are resolved through the pipeline registry
 (:mod:`repro.core.registry`), so every registered stage composition — the
-paper's eight algorithms plus the novel ones — is runnable here.  The command
-generates the named synthetic dataset (see :mod:`repro.datasets`), runs the
-chosen algorithm for the requested number of Monte-Carlo runs, and prints the
-paper's three metrics: normalized k-means cost, normalized communication
-cost, and data-source running time.
+paper's eight algorithms plus the novel ones — is runnable here.  The default
+command generates the named synthetic dataset (see :mod:`repro.datasets`),
+runs the chosen algorithm for the requested number of Monte-Carlo runs, and
+prints the paper's three metrics: normalized k-means cost, normalized
+communication cost, and data-source running time.  The ``stream`` subcommand
+runs a streaming composition over batched arrivals and prints the cost and
+communication of every mid-stream query.
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Communication-efficient k-means for edge-based machine learning "
                     "(ICDCS 2020 reproduction).",
+        epilog="Streaming mode: `repro stream --help` runs a stream-* "
+               "composition over batched arrivals (merge-and-reduce coreset "
+               "trees, sliding windows, continuous queries).",
     )
     parser.add_argument("--dataset", choices=("mnist", "neurips"), default="mnist",
                         help="synthetic benchmark dataset to generate")
@@ -79,9 +86,14 @@ def list_algorithms() -> str:
     """Human-readable table of registered compositions."""
     lines = []
     for spec in registry.registered_specs():
-        kind = "multi " if spec.multi_source else "single"
+        if spec.streaming:
+            kind = "stream"
+        elif spec.multi_source:
+            kind = "multi "
+        else:
+            kind = "single"
         flag = " [novel]" if spec.novel else ""
-        lines.append(f"{spec.name:<16} {kind} {spec.description}{flag}")
+        lines.append(f"{spec.name:<18} {kind} {spec.description}{flag}")
     return "\n".join(lines)
 
 
@@ -138,8 +150,112 @@ def run(args: argparse.Namespace) -> Dict[str, float]:
     return row
 
 
+# ---------------------------------------------------------------------------
+# The `stream` subcommand: batched arrivals + continuous queries.
+# ---------------------------------------------------------------------------
+
+def build_stream_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro stream`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description="Streaming distributed k-means: sources ingest timestamped "
+                    "batches into merge-and-reduce coreset trees; the server "
+                    "answers queries at any point in the stream.",
+    )
+    parser.add_argument("--dataset", choices=("mnist", "neurips"), default="mnist",
+                        help="synthetic benchmark dataset to stream")
+    parser.add_argument("--n", type=int, default=None, help="dataset cardinality override")
+    parser.add_argument("--d", type=int, default=None, help="dataset dimension override")
+    parser.add_argument("--algorithm",
+                        choices=registry.registered_names(streaming=True),
+                        default="stream-fss",
+                        help="registered streaming composition to run")
+    parser.add_argument("--k", type=int, default=2, help="number of clusters")
+    parser.add_argument("--sources", type=int, default=4,
+                        help="number of concurrently streaming data sources")
+    parser.add_argument("--batch-size", type=int, default=512,
+                        help="rows per timestamped batch")
+    parser.add_argument("--window", type=int, default=None,
+                        help="sliding window in batches (default: full prefix)")
+    parser.add_argument("--query-every", type=int, default=None,
+                        help="answer a k-means query every N batch steps "
+                             "(default: only at end of stream)")
+    parser.add_argument("--coreset-size", type=int, default=300,
+                        help="per-bucket coreset cardinality")
+    parser.add_argument("--pca-rank", type=int, default=None,
+                        help="FSS intrinsic rank t")
+    parser.add_argument("--jl-dimension", type=int, default=None,
+                        help="JL target dimension d'")
+    parser.add_argument("--quantize-bits", type=int, default=None,
+                        help="significant bits kept by the rounding quantizer "
+                             "(default: no quantization)")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    return parser
+
+
+def run_stream(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute one streaming run and print the per-query trajectory.
+
+    Returns the final-query summary row for programmatic callers and tests.
+    """
+    from repro.kmeans.cost import kmeans_cost
+    from repro.metrics.evaluation import EvaluationContext, evaluate_report
+    from repro.quantization.bits import DOUBLE_PRECISION_BITS
+
+    points, spec = load_benchmark_dataset(args.dataset, n=args.n, d=args.d, seed=args.seed)
+    quantizer: Optional[RoundingQuantizer] = None
+    if args.quantize_bits is not None and args.quantize_bits < 53:
+        quantizer = RoundingQuantizer(args.quantize_bits)
+    engine = registry.create_pipeline(
+        args.algorithm,
+        k=args.k,
+        coreset_size=args.coreset_size,
+        pca_rank=args.pca_rank,
+        jl_dimension=args.jl_dimension,
+        quantizer=quantizer,
+        batch_size=args.batch_size,
+        window=args.window,
+        query_every=args.query_every,
+        seed=args.seed,
+    )
+    print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
+          f"k={args.k}, sources={args.sources}, batch={args.batch_size}, "
+          f"window={engine.window if engine.window is not None else 'none'}")
+
+    report = engine.run_on_dataset(points, num_sources=args.sources, partition_seed=args.seed)
+
+    context = EvaluationContext.build(points, args.k, seed=args.seed)
+    raw_bits = DOUBLE_PRECISION_BITS * spec.n * spec.d
+    print(f"{'step':>6} {'norm. cost':>12} {'norm. comm':>12} {'summary':>9} {'buckets':>9}")
+    for query in report.queries:
+        cost = kmeans_cost(points, query.centers)
+        normalized = cost / context.reference_cost if context.reference_cost > 0 else float("inf")
+        print(f"{query.time:>6} {normalized:>12.4f} "
+              f"{query.windowed_bits / raw_bits:>12.6f} "
+              f"{query.summary_cardinality:>9} {query.live_buckets:>9}")
+
+    evaluation = evaluate_report(report, context)
+    row = {
+        "normalized_cost": evaluation.normalized_cost,
+        "normalized_communication": evaluation.normalized_communication,
+        "source_seconds": evaluation.source_seconds,
+        "queries": float(len(report.queries)),
+        "max_live_buckets": report.details["max_live_buckets"],
+    }
+    print(f"final normalized k-means cost : {row['normalized_cost']:.4f}")
+    print(f"final normalized communication: {row['normalized_communication']:.6f}")
+    print(f"max live buckets per source   : {int(row['max_live_buckets'])}")
+    return row
+
+
 def main(argv=None) -> int:
     """Console entry point."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stream":
+        run_stream(build_stream_parser().parse_args(argv[1:]))
+        return 0
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_algorithms:

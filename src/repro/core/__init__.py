@@ -52,6 +52,11 @@ from repro.core.distributed_pipelines import (
     BKLWPipeline,
     JLBKLWPipeline,
 )
+from repro.core.streaming import (
+    StreamingEngine,
+    StreamingReport,
+    QuerySnapshot,
+)
 from repro.core.registry import (
     PipelineSpec,
     register_pipeline,
@@ -60,6 +65,7 @@ from repro.core.registry import (
     registered_specs,
     get_spec,
     is_multi_source,
+    is_streaming,
     make_stage_pipeline,
 )
 from repro.core.configuration import (
@@ -74,6 +80,9 @@ __all__ = [
     "PipelineReport",
     "StagePipeline",
     "DistributedStagePipeline",
+    "StreamingEngine",
+    "StreamingReport",
+    "QuerySnapshot",
     "WireSummary",
     "encode_for_wire",
     "SingleSourcePipeline",
@@ -93,6 +102,7 @@ __all__ = [
     "registered_specs",
     "get_spec",
     "is_multi_source",
+    "is_streaming",
     "make_stage_pipeline",
     "QuantizerConfiguration",
     "configure_joint_reduction",

@@ -13,7 +13,9 @@ Beyond the paper's eight algorithms, the registry holds compositions the
 monolithic seed implementations could not express — uniform-sampling
 baselines, FSS recomposed from primitive ``PCA + SS`` stages, and explicit
 quantization stages — demonstrating that the stage engine is a strict
-generalization.
+generalization.  The ``stream-*`` entries run the same stage chains *online*
+via the :class:`~repro.core.streaming.StreamingEngine`: batched arrivals,
+merge-and-reduce coreset trees, incremental uplink, and continuous queries.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.core.distributed_pipelines import (
     JLBKLWPipeline,
 )
 from repro.core.engine import DistributedStagePipeline, StagePipeline
+from repro.core.streaming import StreamingEngine
 from repro.core.pipelines import (
     FSSJLPipeline,
     FSSPipeline,
@@ -48,6 +51,13 @@ SINGLE_SOURCE_KWARGS = (
 MULTI_SOURCE_KWARGS = (
     "k", "epsilon", "delta", "pca_rank", "total_samples", "jl_dimension",
     "quantizer", "server_n_init", "seed",
+)
+#: Keyword arguments every streaming factory accepts (streaming compositions
+#: consume per-source shards like multi-source ones, plus the stream shape).
+STREAMING_KWARGS = (
+    "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
+    "quantizer", "batch_size", "window", "query_every", "server_n_init",
+    "server_max_iterations", "seed",
 )
 
 #: Significant bits used by the registered +QT compositions when no explicit
@@ -72,6 +82,10 @@ class PipelineSpec:
         One-line description shown by ``repro --list-algorithms``.
     novel:
         True for compositions beyond the paper's eight algorithms.
+    streaming:
+        True for online compositions executed by the
+        :class:`~repro.core.streaming.StreamingEngine` (these also consume
+        per-source shards, so ``multi_source`` is True for them).
     """
 
     name: str
@@ -79,6 +93,7 @@ class PipelineSpec:
     multi_source: bool
     description: str
     novel: bool = False
+    streaming: bool = False
 
 
 _REGISTRY: Dict[str, PipelineSpec] = {}
@@ -91,6 +106,7 @@ def register_pipeline(
     multi_source: bool = False,
     description: str = "",
     novel: bool = False,
+    streaming: bool = False,
     overwrite: bool = False,
 ) -> PipelineSpec:
     """Register a composition under ``name`` and return its spec."""
@@ -100,9 +116,10 @@ def register_pipeline(
     spec = PipelineSpec(
         name=key,
         factory=factory,
-        multi_source=bool(multi_source),
+        multi_source=bool(multi_source) or bool(streaming),
         description=description,
         novel=bool(novel),
+        streaming=bool(streaming),
     )
     _REGISTRY[key] = spec
     return spec
@@ -127,17 +144,25 @@ def create_pipeline(name: str, **kwargs):
     so callers may pass one merged configuration for mixed experiments.
     """
     spec = get_spec(name)
-    accepted = MULTI_SOURCE_KWARGS if spec.multi_source else SINGLE_SOURCE_KWARGS
+    if spec.streaming:
+        accepted = STREAMING_KWARGS
+    elif spec.multi_source:
+        accepted = MULTI_SOURCE_KWARGS
+    else:
+        accepted = SINGLE_SOURCE_KWARGS
     filtered = {k: v for k, v in kwargs.items() if k in accepted and v is not None}
     return spec.factory(**filtered)
 
 
-def registered_names(multi_source: Optional[bool] = None) -> List[str]:
+def registered_names(
+    multi_source: Optional[bool] = None, streaming: Optional[bool] = None
+) -> List[str]:
     """Sorted names, optionally filtered by kind."""
     return sorted(
         spec.name
         for spec in _REGISTRY.values()
-        if multi_source is None or spec.multi_source == multi_source
+        if (multi_source is None or spec.multi_source == multi_source)
+        and (streaming is None or spec.streaming == streaming)
     )
 
 
@@ -149,6 +174,11 @@ def registered_specs() -> List[PipelineSpec]:
 def is_multi_source(name: str) -> bool:
     """True when the named composition consumes per-source shards."""
     return get_spec(name).multi_source
+
+
+def is_streaming(name: str) -> bool:
+    """True when the named composition runs on the streaming engine."""
+    return get_spec(name).streaming
 
 
 # --------------------------------------------------------------------------
@@ -303,6 +333,122 @@ register_pipeline(
 )
 
 
+# --------------------------------------------------------------------------
+# Streaming compositions: the same stage chains, executed online by the
+# StreamingEngine (merge-and-reduce coreset trees over batched arrivals).
+# --------------------------------------------------------------------------
+def _streaming(stages_builder, default_name, default_window=None):
+    """Wrap a stage-list builder into a streaming pipeline factory."""
+
+    def factory(
+        k,
+        epsilon=0.2,
+        delta=0.1,
+        coreset_size=None,
+        pca_rank=None,
+        jl_dimension=None,
+        quantizer=None,
+        batch_size=512,
+        window=None,
+        query_every=None,
+        server_n_init=5,
+        server_max_iterations=100,
+        seed=None,
+    ):
+        stages = stages_builder(
+            coreset_size=coreset_size,
+            pca_rank=pca_rank,
+            jl_dimension=jl_dimension,
+        )
+        return StreamingEngine(
+            stages,
+            k=k,
+            epsilon=epsilon,
+            delta=delta,
+            batch_size=batch_size,
+            window=window if window is not None else default_window,
+            query_every=query_every,
+            quantizer=quantizer,
+            server_n_init=server_n_init,
+            server_max_iterations=server_max_iterations,
+            seed=seed,
+            name=default_name,
+        )
+
+    return factory
+
+
+register_pipeline(
+    "stream-fss",
+    _streaming(
+        lambda coreset_size, pca_rank, **_: [
+            FSSStage(size=coreset_size, pca_rank=pca_rank),
+        ],
+        "Stream FSS",
+    ),
+    streaming=True,
+    description="streaming FSS: per-batch FSS coresets in a merge-and-reduce "
+                "tree, incremental uplink, k-means queries mid-stream",
+    novel=True,
+)
+register_pipeline(
+    "stream-jl-fss",
+    _streaming(
+        lambda coreset_size, pca_rank, jl_dimension, **_: [
+            JLStage(jl_dimension),
+            FSSStage(size=coreset_size, pca_rank=pca_rank),
+        ],
+        "Stream JL+FSS",
+    ),
+    streaming=True,
+    description="streaming Algorithm 1: pinned shared-seed JL projection, "
+                "then per-batch FSS coresets",
+    novel=True,
+)
+register_pipeline(
+    "stream-jl-ss",
+    _streaming(
+        lambda coreset_size, jl_dimension, **_: [
+            JLStage(jl_dimension),
+            SensitivityStage(coreset_size),
+        ],
+        "Stream JL+SS",
+    ),
+    streaming=True,
+    description="streaming JL projection + sensitivity sampling",
+    novel=True,
+)
+register_pipeline(
+    "stream-uniform-qt",
+    _streaming(
+        lambda coreset_size, **_: [
+            UniformStage(coreset_size),
+            QuantizeStage(DEFAULT_QT_BITS),
+        ],
+        "Stream Uniform+QT",
+    ),
+    streaming=True,
+    description=f"streaming uniform-sampling baseline with {DEFAULT_QT_BITS}-bit "
+                "quantize-on-send",
+    novel=True,
+)
+register_pipeline(
+    "stream-fss-window",
+    _streaming(
+        lambda coreset_size, pca_rank, **_: [
+            FSSStage(size=coreset_size, pca_rank=pca_rank),
+        ],
+        "Stream FSS (window)",
+        default_window=8,
+    ),
+    streaming=True,
+    description="sliding-window streaming FSS: expired batches leave the "
+                "trees, the query cost, and the communication totals "
+                "(default window: 8 batches)",
+    novel=True,
+)
+
+
 def make_stage_pipeline(stages, *, multi_source: bool = False, **kwargs):
     """Build an unregistered ad-hoc composition (convenience for notebooks
     and tests): dispatches to the right engine class."""
@@ -318,8 +464,10 @@ __all__ = [
     "registered_names",
     "registered_specs",
     "is_multi_source",
+    "is_streaming",
     "make_stage_pipeline",
     "SINGLE_SOURCE_KWARGS",
     "MULTI_SOURCE_KWARGS",
+    "STREAMING_KWARGS",
     "DEFAULT_QT_BITS",
 ]

@@ -1,0 +1,396 @@
+"""The streaming execution engine: batched arrivals, continuous queries.
+
+:class:`StreamingEngine` is the online counterpart of
+:class:`~repro.core.engine.DistributedStagePipeline`: the same declarative
+stage composition, the same metered :class:`SimulatedNetwork`, the same
+report contract — but each source ingests its shard as a sequence of
+timestamped batches, keeps a bounded-memory merge-and-reduce
+:class:`~repro.streaming.tree.CoresetTree`, and ships only incremental
+summaries; the server folds them and answers weighted k-means queries at any
+point in the stream.
+
+Protocol sequence
+-----------------
+1. **Dimension pinning** — JL stages with derived target dimensions are
+   pinned against the first batch, so every batch of every source is
+   projected into the *same* space and summaries stay mergeable.
+2. **Seed handshake** — once for the whole stream, as in the one-shot
+   engine: data-oblivious DR maps are deployment configuration.
+3. **Batch steps** — at step ``t`` every source ingests its ``t``-th batch
+   (timed), updates its tree, and uplinks its bucket delta (metered, with a
+   per-step ledger so windowed accounting can drop expired batches).
+4. **Queries** — every ``query_every`` steps (and always at end-of-stream)
+   the server merges live buckets, solves weighted k-means, and the engine
+   lifts centers back; each query is recorded as a :class:`QuerySnapshot`.
+
+In sliding-window mode (``window=W`` batches) expired buckets leave the
+trees, the server view, *and* the accounting: the report's headline
+communication counts only bits shipped for batches still inside the window,
+and the query cost reflects only unexpired data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import DistributedStagePipeline
+from repro.core.report import PipelineReport
+from repro.datasets.streams import iter_batches
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.partition import partition_dataset
+from repro.quantization.rounding import RoundingQuantizer
+from repro.stages.base import Stage, StageContext
+from repro.stages.cr import resolve_coreset_size
+from repro.stages.dr import JLStage
+from repro.stages.qt import QuantizeStage
+from repro.streaming.server import StreamingServer
+from repro.streaming.source import StreamingSource
+from repro.utils.random import SeedLike, as_generator, derive_seed
+from repro.utils.validation import (
+    check_fraction,
+    check_matrix,
+    check_positive_int,
+)
+
+
+@dataclass
+class QuerySnapshot:
+    """One continuous-query answer taken mid-stream.
+
+    ``scalars``/``bits`` are cumulative uplink totals at query time;
+    ``windowed_scalars``/``windowed_bits`` count only the uplink attributable
+    to batches still inside the sliding window (equal to the cumulative
+    totals when the stream is unwindowed).
+    """
+
+    time: int
+    centers: np.ndarray
+    summary_cardinality: int
+    summary_dimension: int
+    scalars: int
+    bits: int
+    windowed_scalars: int
+    windowed_bits: int
+    live_buckets: int
+    server_seconds: float
+
+
+@dataclass
+class StreamingReport(PipelineReport):
+    """A :class:`PipelineReport` plus the stream's per-query history."""
+
+    queries: List[QuerySnapshot] = field(default_factory=list)
+
+
+@dataclass
+class _ShapeState:
+    """Shape-only stand-in for a SourceState during dimension pinning."""
+
+    cardinality: int
+    dimension: int
+    is_raw: bool
+
+
+class StreamingEngine(DistributedStagePipeline):
+    """Execute a stage composition as an online streaming protocol.
+
+    Parameters
+    ----------
+    stages:
+        The composition applied to every batch; must contain exactly one CR
+        stage (the first one found is also the tree's merge-and-reduce
+        compressor).  Subclasses may override :meth:`build_stages` instead.
+    k, epsilon, delta:
+        Clustering problem parameters (same contract as StagePipeline).
+    batch_size:
+        Rows per batch when :meth:`run` slices shards into streams.
+    window:
+        Optional sliding window, in batches.  ``None`` streams the full
+        prefix.
+    query_every:
+        Answer a k-means query every this many batch steps (the final step
+        always answers one).  ``None`` queries only at end-of-stream.
+    quantizer:
+        Optional wire quantizer; sugar for appending a
+        :class:`~repro.stages.qt.QuantizeStage`.
+    server_n_init, server_max_iterations:
+        Per-query weighted k-means solver parameters.
+    seed:
+        Master seed for the whole stream (handshake, samplers, solver).
+    """
+
+    name: str = "streaming"
+
+    def __init__(
+        self,
+        stages: Optional[Sequence[Stage]] = None,
+        *,
+        k: int,
+        epsilon: float = 0.2,
+        delta: float = 0.1,
+        batch_size: int = 512,
+        window: Optional[int] = None,
+        query_every: Optional[int] = None,
+        quantizer: Optional[RoundingQuantizer] = None,
+        server_n_init: int = 5,
+        server_max_iterations: int = 100,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        # Deliberately does not call the distributed pipeline's __init__:
+        # streaming merges summaries single-source-style, so epsilon is not
+        # subject to the 1/3 cap of the BKLW analysis.
+        self.k = check_positive_int(k, "k")
+        self.epsilon = check_fraction(epsilon, "epsilon")
+        self.delta = check_fraction(delta, "delta")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.window = None if window is None else check_positive_int(window, "window")
+        self.query_every = (
+            None if query_every is None else check_positive_int(query_every, "query_every")
+        )
+        self.quantizer = quantizer
+        self.server_n_init = check_positive_int(server_n_init, "server_n_init")
+        self.server_max_iterations = check_positive_int(
+            server_max_iterations, "server_max_iterations"
+        )
+        self._rng = as_generator(seed)
+        self._stages = None if stages is None else list(stages)
+        if name is not None:
+            self.name = str(name)
+
+    # ------------------------------------------------------------------ API
+    def run(self, shards: Sequence[np.ndarray]) -> StreamingReport:
+        """Stream per-source shards in ``batch_size`` batches (arrival order
+        = storage order) and return the end-of-stream report."""
+        shards = [check_matrix(s, "shard") for s in shards]
+        if not shards:
+            raise ValueError("at least one shard is required")
+        return self.run_streams([iter_batches(s, self.batch_size) for s in shards])
+
+    def run_on_dataset(
+        self,
+        points: np.ndarray,
+        num_sources: int,
+        strategy: str = "random",
+        partition_seed: SeedLike = None,
+    ) -> StreamingReport:
+        """Convenience wrapper: partition ``points`` and stream the shards."""
+        points = check_matrix(points, "points")
+        seed = partition_seed if partition_seed is not None else derive_seed(self._rng)
+        indices = partition_dataset(points, num_sources, strategy=strategy, seed=seed)
+        return self.run([points[idx] for idx in indices])
+
+    def run_streams(
+        self, streams: Sequence[Iterable[np.ndarray]]
+    ) -> StreamingReport:
+        """Execute the streaming protocol over one batch iterator per source."""
+        if not streams:
+            raise ValueError("at least one batch stream is required")
+        iterators = [iter(s) for s in streams]
+        ctx = StageContext(
+            k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
+        )
+
+        first_batch = next(iterators[0], None)
+        if first_batch is None:
+            raise ValueError("the first stream yielded no batches")
+        first_batch = check_matrix(first_batch, "batch")
+        iterators[0] = iter(itertools.chain([first_batch], iterators[0]))
+
+        stages = self._wire_stages()
+        stages = _pin_derived_dimensions(stages, first_batch.shape, ctx)
+        reduce_stage = next((s for s in stages if s.reduces_cardinality), None)
+        if reduce_stage is None:
+            raise ValueError(
+                "streaming requires a CR stage (FSS / SS / Uniform) in the "
+                "composition; merge-and-reduce has nothing to reduce with"
+            )
+        for stage in stages:
+            stage.handshake(ctx)
+
+        network = SimulatedNetwork()
+        server = StreamingServer(
+            k=self.k,
+            n_init=self.server_n_init,
+            max_iterations=self.server_max_iterations,
+            seed=derive_seed(self._rng),
+        )
+        sources = [
+            StreamingSource(
+                f"source-{i}", stages, reduce_stage, ctx, network, window=self.window
+            )
+            for i in range(len(iterators))
+        ]
+
+        ledger: Dict[int, List[int]] = {}
+        queries: List[QuerySnapshot] = []
+        exhausted = [False] * len(iterators)
+        t = 0
+        while not all(exhausted):
+            # Gather this step's arrivals first: the loop must end *before*
+            # stream time advances past the last real batch step, otherwise
+            # sliding-window expiry would run one tick beyond the stream and
+            # drop buckets the mandatory end-of-stream query still covers.
+            arrivals = []
+            for i, iterator in enumerate(iterators):
+                batch = None if exhausted[i] else next(iterator, None)
+                if batch is None:
+                    exhausted[i] = True
+                arrivals.append(batch)
+            if all(batch is None for batch in arrivals):
+                break
+            for source, batch in zip(sources, arrivals):
+                if batch is None:
+                    # Sliding window: an ended stream still ages while others
+                    # ingest — its out-of-window buckets must leave the
+                    # server view (and the query cost) in lockstep.
+                    if self.window is not None:
+                        server.fold(source.advance(t))
+                    continue
+                scalars_before = network.uplink_scalars()
+                bits_before = network.uplink_bits()
+                server.fold(source.ingest(check_matrix(batch, "batch"), t))
+                step = ledger.setdefault(t, [0, 0])
+                step[0] += network.uplink_scalars() - scalars_before
+                step[1] += network.uplink_bits() - bits_before
+            if (
+                self.query_every is not None
+                and (t + 1) % self.query_every == 0
+                and server.has_summary
+            ):
+                queries.append(self._query(server, sources, network, ledger, t))
+            t += 1
+
+        if t == 0:
+            raise ValueError("the streams yielded no batches")
+        last_step = t - 1
+        if not queries or queries[-1].time != last_step:
+            queries.append(self._query(server, sources, network, ledger, last_step))
+
+        return self._report(sources, server, network, queries, ledger, t)
+
+    # ------------------------------------------------------------ internals
+    def _wire_stages(self) -> List[Stage]:
+        stages = self.build_stages()
+        if self.quantizer is not None:
+            stages.append(QuantizeStage(self.quantizer))
+        return stages
+
+    def _windowed_totals(self, ledger: Dict[int, List[int]], t: int) -> Tuple[int, int]:
+        if self.window is None:
+            steps = ledger.values()
+        else:
+            steps = (ledger[s] for s in ledger if s > t - self.window)
+        scalars = bits = 0
+        for step_scalars, step_bits in steps:
+            scalars += step_scalars
+            bits += step_bits
+        return scalars, bits
+
+    def _query(
+        self,
+        server: StreamingServer,
+        sources: Sequence[StreamingSource],
+        network: SimulatedNetwork,
+        ledger: Dict[int, List[int]],
+        t: int,
+    ) -> QuerySnapshot:
+        result, coreset, seconds = server.query()
+        centers = result.centers
+        lifts = next((s.lifts for s in sources if s.lifts is not None), [])
+        for lift in reversed(lifts):
+            centers = lift(centers)
+        windowed_scalars, windowed_bits = self._windowed_totals(ledger, t)
+        return QuerySnapshot(
+            time=t,
+            centers=centers,
+            summary_cardinality=coreset.size,
+            summary_dimension=coreset.dimension,
+            scalars=network.uplink_scalars(),
+            bits=network.uplink_bits(),
+            windowed_scalars=windowed_scalars,
+            windowed_bits=windowed_bits,
+            live_buckets=server.live_bucket_count,
+            server_seconds=seconds,
+        )
+
+    def _report(
+        self,
+        sources: Sequence[StreamingSource],
+        server: StreamingServer,
+        network: SimulatedNetwork,
+        queries: List[QuerySnapshot],
+        ledger: Dict[int, List[int]],
+        num_steps: int,
+    ) -> StreamingReport:
+        final = queries[-1]
+        quantizer_bits = self.quantizer_bits
+        if quantizer_bits is None:
+            quantizer_bits = next(
+                (s.quantizer_bits for s in sources if s.quantizer_bits is not None), None
+            )
+        report = StreamingReport(
+            algorithm=self.name,
+            centers=final.centers,
+            # Headline communication follows the window semantics: expired
+            # batches drop out of the totals; unwindowed streams report the
+            # cumulative uplink (windowed == cumulative then).
+            communication_scalars=final.windowed_scalars,
+            communication_bits=final.windowed_bits,
+            source_seconds=max(s.compute_seconds for s in sources),
+            server_seconds=server.compute_seconds,
+            summary_cardinality=final.summary_cardinality,
+            summary_dimension=final.summary_dimension,
+            quantizer_bits=quantizer_bits,
+            queries=queries,
+        )
+        return report.with_detail(
+            num_sources=len(sources),
+            num_batch_steps=num_steps,
+            num_batches=sum(s.batches_ingested for s in sources),
+            num_queries=len(queries),
+            total_source_seconds=sum(s.compute_seconds for s in sources),
+            cumulative_scalars=network.uplink_scalars(),
+            cumulative_bits=network.uplink_bits(),
+            live_buckets=final.live_buckets,
+            max_live_buckets=max(s.tree.max_live_buckets for s in sources),
+            max_resident_points=max(s.tree.max_resident_points for s in sources),
+            tree_merges=sum(s.tree.merges for s in sources),
+            batch_size=self.batch_size,
+            window=0 if self.window is None else self.window,
+        )
+
+
+def _pin_derived_dimensions(
+    stages: Sequence[Stage], first_batch_shape: Tuple[int, int], ctx: StageContext
+) -> List[Stage]:
+    """Replace JL stages with derived targets by explicitly-sized copies.
+
+    In the one-shot engine a JL stage may derive ``d'`` from the state
+    flowing past it; in a stream that state differs per batch (final batches
+    are short), which would project batches into different spaces and break
+    bucket merging.  Pinning resolves every derived dimension once against
+    the first batch's shape, tracking how cardinality and dimension evolve
+    through the composition (CR stages shrink cardinality, JL stages shrink
+    dimension, PCA/QT stages preserve shapes).
+    """
+    n, d = int(first_batch_shape[0]), int(first_batch_shape[1])
+    shape = _ShapeState(cardinality=n, dimension=d, is_raw=True)
+    pinned: List[Stage] = []
+    for stage in stages:
+        if isinstance(stage, JLStage):
+            target = stage.resolve_dimension(shape, ctx)
+            if stage.dimension is None:
+                stage = JLStage(target, ensemble=stage.ensemble)
+            shape.dimension = target
+        elif stage.reduces_cardinality:
+            size = getattr(stage, "size", None)
+            shape.cardinality = resolve_coreset_size(size, shape.cardinality, ctx.k)
+            shape.is_raw = False
+        pinned.append(stage)
+    return pinned

@@ -16,6 +16,7 @@ from repro.datasets.synthetic import (
     DatasetSpec,
 )
 from repro.datasets.loaders import normalize_dataset, load_benchmark_dataset
+from repro.datasets.streams import batch_count, iter_batches, make_drifting_stream
 
 __all__ = [
     "make_gaussian_mixture",
@@ -24,4 +25,7 @@ __all__ = [
     "DatasetSpec",
     "normalize_dataset",
     "load_benchmark_dataset",
+    "batch_count",
+    "iter_batches",
+    "make_drifting_stream",
 ]

@@ -21,14 +21,19 @@ from repro.quantization.bits import DOUBLE_PRECISION_BITS, bits_per_scalar
 def _count_scalars(payload) -> int:
     """Number of scalar values in a message payload.
 
-    Payloads may be numpy arrays, python scalars, or (possibly nested)
-    lists/tuples/dicts of those.
+    Payloads may be numpy arrays, python/numpy scalars (including booleans —
+    ``bool`` is an ``int`` subclass and ``np.bool_`` is accepted explicitly,
+    so both flavours count as one scalar), or (possibly nested)
+    lists/tuples/dicts of those.  ``None`` counts zero scalars wherever it
+    appears — at top level or inside a container — modelling an absent
+    optional field.  Any other type (strings, arbitrary objects) raises
+    ``TypeError``: an unmeterable payload must never cross the wire silently.
     """
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.size)
-    if isinstance(payload, (int, float, np.integer, np.floating)):
+    if isinstance(payload, (int, float, np.integer, np.floating, np.bool_)):
         return 1
     if isinstance(payload, dict):
         return sum(_count_scalars(v) for v in payload.values())

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.linalg import pairwise_squared_distances
+from repro.utils.linalg import pairwise_squared_distances, squared_norms
 from repro.utils.validation import check_matrix, check_weights
 
 # Centres are processed against points in blocks of this many rows to keep the
@@ -28,9 +28,13 @@ def _min_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarra
     """Distance from every point to its nearest center (squared)."""
     n = points.shape[0]
     out = np.empty(n, dtype=float)
+    # The centers are constant across blocks; hoist their squared norms.
+    center_norms = squared_norms(centers)
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
-        d2 = pairwise_squared_distances(points[start:stop], centers)
+        d2 = pairwise_squared_distances(
+            points[start:stop], centers, b_squared_norms=center_norms
+        )
         out[start:stop] = d2.min(axis=1)
     return out
 
@@ -48,9 +52,12 @@ def assign_to_centers(points: np.ndarray, centers: np.ndarray) -> Tuple[np.ndarr
     n = points.shape[0]
     labels = np.empty(n, dtype=np.int64)
     dists = np.empty(n, dtype=float)
+    center_norms = squared_norms(centers)
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
-        d2 = pairwise_squared_distances(points[start:stop], centers)
+        d2 = pairwise_squared_distances(
+            points[start:stop], centers, b_squared_norms=center_norms
+        )
         labels[start:stop] = d2.argmin(axis=1)
         dists[start:stop] = d2[np.arange(stop - start), labels[start:stop]]
     return labels, dists

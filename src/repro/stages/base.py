@@ -140,6 +140,12 @@ class Stage(abc.ABC):
     #: pre-shared-seed protocol of the paper.
     requires_shared_seed: bool = False
 
+    #: True for CR stages (they replace the point set by a weighted coreset).
+    #: The streaming engine re-applies the composition's CR stage to merged
+    #: buckets of its coreset tree (merge-and-reduce), so it must be able to
+    #: identify that stage declaratively.
+    reduces_cardinality: bool = False
+
     def handshake(self, ctx: StageContext) -> None:
         """Negotiate pre-shared randomness with the server (if any)."""
         if self.requires_shared_seed:

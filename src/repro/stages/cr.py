@@ -19,10 +19,16 @@ from repro.stages.sizing import default_coreset_size, default_pca_rank
 from repro.utils.validation import check_positive_int
 
 
-def _resolve_size(size: Optional[int], n: int, k: int) -> int:
+def resolve_coreset_size(size: Optional[int], n: int, k: int) -> int:
+    """Coreset cardinality actually built for ``n`` input points: the explicit
+    ``size`` capped at ``n``, or the practical default.  Shared by the CR
+    stages and by the streaming engine's shape pinning."""
     if size is not None:
         return min(check_positive_int(size, "coreset_size"), n)
     return default_coreset_size(n, k)
+
+
+_resolve_size = resolve_coreset_size
 
 
 class FSSStage(Stage):
@@ -35,6 +41,7 @@ class FSSStage(Stage):
     """
 
     name = "FSS"
+    reduces_cardinality = True
 
     def __init__(self, size: Optional[int] = None, pca_rank: Optional[int] = None) -> None:
         self.size = size
@@ -78,6 +85,7 @@ class SensitivityStage(Stage):
     """
 
     name = "SS"
+    reduces_cardinality = True
 
     def __init__(self, size: Optional[int] = None) -> None:
         self.size = size
@@ -105,6 +113,7 @@ class UniformStage(Stage):
     """
 
     name = "Uniform"
+    reduces_cardinality = True
 
     def __init__(self, size: Optional[int] = None, replace: bool = True) -> None:
         self.size = size

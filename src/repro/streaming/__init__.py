@@ -1,0 +1,27 @@
+"""Streaming: online distributed clustering over batched arrivals.
+
+The paper's protocols are one-shot — each source compresses once, the server
+solves once.  This package turns every registered stage composition into a
+*streaming* algorithm: sources ingest timestamped batches, maintain
+bounded-memory merge-and-reduce coreset trees
+(:class:`~repro.streaming.tree.CoresetTree`), and ship only incremental
+summaries through the metered network; the server folds them and answers
+k-means queries at any point in the stream
+(:class:`~repro.streaming.server.StreamingServer`).  The execution engine
+that schedules batches and produces reports is
+:class:`~repro.core.streaming.StreamingEngine`.
+"""
+
+from repro.streaming.tree import Bucket, CoresetTree, TreeDelta
+from repro.streaming.source import BucketUpdate, SourceUpdate, StreamingSource
+from repro.streaming.server import StreamingServer
+
+__all__ = [
+    "Bucket",
+    "CoresetTree",
+    "TreeDelta",
+    "BucketUpdate",
+    "SourceUpdate",
+    "StreamingSource",
+    "StreamingServer",
+]

@@ -1,0 +1,96 @@
+"""The streaming edge server: fold incremental summaries, answer queries.
+
+The server's state is a per-(source, bucket) map of the coresets it has
+received.  Folding a :class:`~repro.streaming.source.SourceUpdate` is O(delta)
+— drop retired buckets, store new ones; no recomputation touches buckets that
+did not change.  A *query* merges all live buckets across sources into one
+generalized coreset (exact, by coreset mergeability) and solves weighted
+k-means on it, exactly like the one-shot engine's server section; the caller
+lifts the centers back through the stream's DR maps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.cr.coreset import Coreset, merge_coresets
+from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
+from repro.streaming.source import SourceUpdate
+from repro.utils.random import SeedLike, as_generator, derive_seed
+from repro.utils.validation import check_positive_int
+
+
+class StreamingServer:
+    """Server half of the streaming protocol.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters answered per query.
+    n_init, max_iterations:
+        Weighted k-means solver parameters (fresh solver per query, seeded
+        deterministically from the server's generator).
+    seed:
+        Master seed for the per-query solver seeds.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n_init: int = 5,
+        max_iterations: int = 100,
+        seed: SeedLike = None,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self._rng = as_generator(seed)
+        self._buckets: Dict[Tuple[str, int], Coreset] = {}
+        self.compute_seconds = 0.0
+        self.updates_folded = 0
+
+    # ------------------------------------------------------------------ API
+    def fold(self, update: SourceUpdate) -> None:
+        """Apply one incremental summary: retire then add."""
+        for bucket_id in update.retired_ids:
+            self._buckets.pop((update.source_id, bucket_id), None)
+        for bucket in update.added:
+            self._buckets[(update.source_id, bucket.bucket_id)] = bucket.coreset
+        self.updates_folded += 1
+
+    @property
+    def live_bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def has_summary(self) -> bool:
+        return bool(self._buckets)
+
+    def global_coreset(self) -> Coreset:
+        """Union of every live bucket of every source."""
+        if not self._buckets:
+            raise RuntimeError(
+                "the server holds no summary (no batches ingested, or every "
+                "bucket expired from the sliding window)"
+            )
+        return merge_coresets(self._buckets[key] for key in sorted(self._buckets))
+
+    def query(self) -> Tuple[KMeansResult, Coreset, float]:
+        """Solve weighted k-means on the current global coreset.
+
+        Returns ``(result, coreset, seconds)``; centers are in the stream's
+        reduced space — the engine lifts them back.
+        """
+        start = time.perf_counter()
+        coreset = self.global_coreset()
+        solver = WeightedKMeans(
+            k=self.k,
+            n_init=self.n_init,
+            max_iterations=self.max_iterations,
+            seed=derive_seed(self._rng),
+        )
+        result = solver.fit(coreset.points, coreset.weights)
+        seconds = time.perf_counter() - start
+        self.compute_seconds += seconds
+        return result, coreset, seconds

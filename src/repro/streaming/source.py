@@ -1,0 +1,198 @@
+"""The streaming data source: per-batch compression + incremental uplink.
+
+A :class:`StreamingSource` turns the one-shot source protocol of
+:class:`~repro.core.engine.StagePipeline` into an online one.  For every
+timestamped batch it
+
+1. runs the stage composition on the batch (timed, exactly like the one-shot
+   engine's source section) to obtain a leaf coreset in the reduced space —
+   DR stages use the seeds agreed at the stream-wide handshake, so every
+   batch of every source lands in the *same* reduced space and summaries
+   stay mergeable;
+2. inserts the leaf into its bounded-memory
+   :class:`~repro.streaming.tree.CoresetTree` (merges run locally, inside
+   the timed section — they are source work);
+3. transmits the *delta* between the buckets the server already holds and
+   the buckets now alive, through the metered
+   :class:`~repro.distributed.network.SimulatedNetwork`: new buckets travel
+   as quantized points + full-precision weights + a 5-scalar header, retired
+   bucket ids as one scalar each.  Re-transmitting a merged bucket replaces
+   the buckets it subsumes, so the server's view stays consistent while the
+   per-batch uplink stays amortized ``O(coreset_size)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cr.coreset import Coreset
+from repro.distributed.network import SimulatedNetwork
+from repro.stages.base import CenterLift, SourceState, Stage, StageContext
+from repro.streaming.tree import Bucket, CoresetTree
+
+
+@dataclass
+class BucketUpdate:
+    """One bucket as it crossed the wire (points possibly quantized)."""
+
+    bucket_id: int
+    coreset: Coreset
+    first_batch: int
+    last_batch: int
+    level: int
+
+
+@dataclass
+class SourceUpdate:
+    """Incremental summary of one ingest step, for the server to fold."""
+
+    source_id: str
+    batch_index: int
+    added: List[BucketUpdate] = field(default_factory=list)
+    retired_ids: List[int] = field(default_factory=list)
+
+
+class StreamingSource:
+    """One data source of a streaming deployment.
+
+    Parameters
+    ----------
+    source_id:
+        Network identifier (``"source-<i>"``).
+    stages:
+        The (already handshaken) stage composition applied to every batch.
+    reduce_stage:
+        The composition's CR stage, re-applied to merged tree buckets.
+    ctx:
+        The stream-wide stage context (shared master generator).
+    network:
+        The metered network all transmissions go through.
+    window:
+        Optional sliding window in batches, forwarded to the tree.
+    """
+
+    def __init__(
+        self,
+        source_id: str,
+        stages: Sequence[Stage],
+        reduce_stage: Stage,
+        ctx: StageContext,
+        network: SimulatedNetwork,
+        window: Optional[int] = None,
+    ) -> None:
+        self.source_id = str(source_id)
+        self.stages = list(stages)
+        self.reduce_stage = reduce_stage
+        self.ctx = ctx
+        self.network = network
+        self.tree = CoresetTree(reduce=self._reduce, window=window)
+        self.compute_seconds = 0.0
+        self.batches_ingested = 0
+        self.lifts: Optional[List[CenterLift]] = None
+        self.quantizer_bits: Optional[int] = None
+        self._shipped: set = set()
+
+    # ------------------------------------------------------------------ API
+    def ingest(self, batch: np.ndarray, batch_index: int) -> SourceUpdate:
+        """Compress one batch, update the tree, and uplink the delta."""
+        start = time.perf_counter()
+        state = SourceState(points=np.asarray(batch, dtype=float))
+        lifts: List[CenterLift] = []
+        for stage in self.stages:
+            effect = stage.apply_at_source(state, self.ctx)
+            state = effect.state
+            if effect.lift is not None:
+                lifts.append(effect.lift)
+        if state.weights is None:
+            raise RuntimeError(
+                "streaming requires a CR stage in the composition: the batch "
+                "state still has no coreset weights after all stages"
+            )
+        if self.lifts is None:
+            # DR maps are fixed for the whole stream (shared handshake seeds,
+            # pinned dimensions), so the lift chain of the first batch is the
+            # lift chain of every batch.
+            self.lifts = lifts
+        leaf = Coreset(state.points, state.weights, state.shift)
+        self.tree.insert(leaf, batch_index)
+        self.tree.expire(batch_index)
+        self.compute_seconds += time.perf_counter() - start
+        self.batches_ingested += 1
+
+        quantizer = state.wire_quantizer
+        if quantizer is not None:
+            self.quantizer_bits = int(quantizer.significant_bits)
+        return self._transmit_delta(batch_index, quantizer)
+
+    def advance(self, batch_index: int) -> SourceUpdate:
+        """Advance stream time without new data: expire and retire only.
+
+        Sliding-window streams call this for sources whose stream already
+        ended while others keep ingesting — their out-of-window buckets must
+        leave the tree and the server view exactly as if they were still
+        producing batches.
+        """
+        self.tree.expire(batch_index)
+        return self._transmit_delta(batch_index, None)
+
+    # ------------------------------------------------------------ internals
+    def _reduce(self, coreset: Coreset) -> Coreset:
+        """Re-compress a merged bucket with the composition's CR stage."""
+        state = SourceState(
+            points=coreset.points, weights=coreset.weights, shift=coreset.shift
+        )
+        state = self.reduce_stage.apply_at_source(state, self.ctx).state
+        return Coreset(state.points, state.weights, state.shift)
+
+    def _transmit_delta(self, batch_index: int, quantizer) -> SourceUpdate:
+        """Ship exactly the difference between server view and live buckets."""
+        live = set(self.tree.live_bucket_ids)
+        to_retire = sorted(self._shipped - live)
+        to_add = [b for b in self.tree.live_buckets if b.bucket_id not in self._shipped]
+
+        update = SourceUpdate(source_id=self.source_id, batch_index=batch_index)
+        for bucket in to_add:
+            wire_coreset, bits = self._encode_bucket(bucket, quantizer)
+            self.network.send(
+                self.source_id, "server", wire_coreset.points,
+                tag="stream-points", significant_bits=bits,
+            )
+            self.network.send(
+                self.source_id, "server", wire_coreset.weights, tag="stream-weights"
+            )
+            header = [
+                float(bucket.bucket_id), float(bucket.level),
+                float(bucket.first_batch), float(bucket.last_batch),
+                float(wire_coreset.shift),
+            ]
+            self.network.send(self.source_id, "server", header, tag="stream-header")
+            update.added.append(
+                BucketUpdate(
+                    bucket_id=bucket.bucket_id,
+                    coreset=wire_coreset,
+                    first_batch=bucket.first_batch,
+                    last_batch=bucket.last_batch,
+                    level=bucket.level,
+                )
+            )
+        if to_retire:
+            self.network.send(self.source_id, "server", to_retire, tag="stream-retire")
+            update.retired_ids = to_retire
+        self._shipped = live
+        return update
+
+    @staticmethod
+    def _encode_bucket(bucket: Bucket, quantizer) -> Tuple[Coreset, Optional[int]]:
+        """Quantize-on-send: points at reduced precision, weights and Δ at
+        full precision (Section 6.2's coreset wire format)."""
+        coreset = bucket.coreset
+        if quantizer is None:
+            return coreset, None
+        return (
+            Coreset(quantizer.quantize(coreset.points), coreset.weights, coreset.shift),
+            int(quantizer.significant_bits),
+        )

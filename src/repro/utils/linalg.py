@@ -23,12 +23,18 @@ def squared_norms(points: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", points, points)
 
 
-def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def pairwise_squared_distances(
+    a: np.ndarray, b: np.ndarray, b_squared_norms: np.ndarray = None
+) -> np.ndarray:
     """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
 
     Returns a matrix of shape ``(len(a), len(b))``.  Uses the expansion
     ``|x - y|^2 = |x|^2 - 2 x.y + |y|^2`` and clips tiny negative values
     produced by floating-point cancellation.
+
+    ``b_squared_norms`` lets blockwise callers that sweep many ``a`` blocks
+    against one fixed ``b`` (e.g. nearest-center assignment) pass
+    ``squared_norms(b)`` precomputed instead of recomputing it per block.
     """
     a = np.atleast_2d(np.asarray(a, dtype=float))
     b = np.atleast_2d(np.asarray(b, dtype=float))
@@ -36,8 +42,10 @@ def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
         )
+    if b_squared_norms is None:
+        b_squared_norms = squared_norms(b)
     cross = a @ b.T
-    d2 = squared_norms(a)[:, None] - 2.0 * cross + squared_norms(b)[None, :]
+    d2 = squared_norms(a)[:, None] - 2.0 * cross + b_squared_norms[None, :]
     np.maximum(d2, 0.0, out=d2)
     return d2
 

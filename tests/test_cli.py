@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import ALGORITHMS, build_parser, main, run
+from repro.cli import (
+    ALGORITHMS,
+    build_parser,
+    build_stream_parser,
+    main,
+    run,
+    run_stream,
+)
 
 
 class TestParser:
@@ -64,4 +71,50 @@ class TestRun:
         assert main([
             "--dataset", "mnist", "--n", "200", "--d", "49",
             "--algorithm", "nr", "--runs", "1", "--seed", "6",
+        ]) == 0
+
+
+class TestStreamSubcommand:
+    def test_defaults(self):
+        args = build_stream_parser().parse_args([])
+        assert args.algorithm == "stream-fss"
+        assert args.batch_size == 512
+        assert args.window is None
+        assert args.query_every is None
+
+    def test_only_streaming_algorithms_accepted(self):
+        parser = build_stream_parser()
+        assert parser.parse_args(["--algorithm", "stream-jl-ss"]).algorithm == "stream-jl-ss"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--algorithm", "jl-fss"])
+
+    def test_stream_run_reports_queries(self, capsys):
+        args = build_stream_parser().parse_args([
+            "--dataset", "mnist", "--n", "600", "--d", "64",
+            "--algorithm", "stream-fss", "--coreset-size", "40",
+            "--batch-size", "100", "--query-every", "2", "--sources", "2",
+            "--seed", "7",
+        ])
+        row = run_stream(args)
+        captured = capsys.readouterr().out
+        assert "norm. cost" in captured
+        assert row["normalized_cost"] > 0
+        assert row["queries"] >= 2
+        assert row["max_live_buckets"] >= 1
+
+    def test_windowed_stream_run(self):
+        args = build_stream_parser().parse_args([
+            "--dataset", "mnist", "--n", "600", "--d", "36",
+            "--algorithm", "stream-uniform-qt", "--coreset-size", "30",
+            "--batch-size", "100", "--window", "2", "--sources", "2",
+            "--seed", "8",
+        ])
+        row = run_stream(args)
+        assert row["normalized_communication"] > 0
+
+    def test_main_dispatches_stream(self):
+        assert main([
+            "stream", "--dataset", "mnist", "--n", "400", "--d", "25",
+            "--algorithm", "stream-jl-ss", "--coreset-size", "30",
+            "--jl-dimension", "10", "--batch-size", "100", "--seed", "9",
         ]) == 0

@@ -18,13 +18,34 @@ class TestCountScalars:
     def test_none(self):
         assert _count_scalars(None) == 0
 
+    def test_booleans_count_as_one_scalar(self):
+        # Python bool (an int subclass) and numpy bool must agree: both are
+        # one scalar on the wire.
+        assert _count_scalars(True) == 1
+        assert _count_scalars(np.bool_(True)) == 1
+        assert _count_scalars(np.bool_(False)) == 1
+        assert _count_scalars([np.bool_(True), False]) == 2
+
     def test_nested_containers(self):
         payload = {"a": np.zeros((2, 2)), "b": [1.0, 2.0, (3.0, np.zeros(3))]}
         assert _count_scalars(payload) == 4 + 2 + 1 + 3
 
+    def test_none_inside_containers_counts_zero(self):
+        # None models an absent optional field at any nesting depth.
+        assert _count_scalars({"coreset": np.zeros(5), "basis": None}) == 5
+        assert _count_scalars([None, 1.0, {"x": None}]) == 1
+
     def test_unsupported_type(self):
         with pytest.raises(TypeError):
             _count_scalars("a string")
+
+    def test_unsupported_type_inside_container_raises(self):
+        # The raise must not be swallowed by container recursion: an
+        # unmeterable payload never crosses the wire silently.
+        with pytest.raises(TypeError):
+            _count_scalars({"ok": 1.0, "bad": object()})
+        with pytest.raises(TypeError):
+            _count_scalars([np.zeros(2), b"bytes"])
 
 
 class TestMessage:
