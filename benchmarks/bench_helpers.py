@@ -250,3 +250,28 @@ def record_result(category: str, result, wall_seconds: Optional[float] = None,
     if prefix:
         rows = {f"{prefix}:{label}": metrics for label, metrics in rows.items()}
     return record_bench(category, rows)
+
+
+# ---------------------------------------------------------------------------
+# Primitive/pipeline perf timing (the BENCH_perf.json trajectory).
+# ---------------------------------------------------------------------------
+
+def time_best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()`` (warm caches win)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record_perf(rows: Dict[str, Dict[str, float]]) -> str:
+    """Merge timing rows into ``BENCH_perf.json``.
+
+    Rows are keyed ``<tag>:<subject>`` — ``baseline:fss`` vs ``post:fss`` for
+    a before/after pair inside one PR, or plain subjects for the recurring CI
+    perf smoke.  Each row carries the usual provenance (scale, timestamp), so
+    the file accumulates a comparable perf trajectory across PRs.
+    """
+    return record_bench("perf", rows)

@@ -1,0 +1,108 @@
+"""Perf micro/macro benchmarks of the numerical core → BENCH_perf.json.
+
+Times the hot primitives (fused assignment/cost, cluster means, k-means++,
+D²-sampling, bicriteria) and the end-to-end ``fss`` / ``jl-fss`` registered
+pipelines, and persists the rows to ``BENCH_perf.json`` so CI uploads a
+machine-readable perf trajectory alongside the streaming benches.  The
+committed copy of the file additionally carries the ``baseline:*`` /
+``post:*`` rows measured on the 100k × 50 acceptance workload (see
+``benchmarks/perf_baseline.py``).
+
+Scale with ``REPRO_BENCH_SCALE``; the default keeps the whole module under a
+minute on a laptop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_helpers import SCALE, record_perf, run_once, time_best_of
+from repro.core import registry
+from repro.datasets import make_gaussian_mixture
+from repro.kmeans.bicriteria import bicriteria_approximation
+from repro.kmeans.cost import assign_and_cost, assign_to_centers, cluster_means
+from repro.kmeans.lloyd import WeightedKMeans
+from repro.kmeans.seeding import d2_sampling, kmeans_plus_plus
+
+N = int(40_000 * SCALE)
+D = 50
+K = 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    points, _, _ = make_gaussian_mixture(
+        n=max(N, 2_000), d=D, k=K, separation=6.0, cluster_std=1.0, seed=31
+    )
+    return points
+
+
+@pytest.fixture(scope="module")
+def centers(dataset):
+    rng = np.random.default_rng(0)
+    return dataset[rng.choice(dataset.shape[0], size=K, replace=False)].copy()
+
+
+def test_primitive_timings(benchmark, dataset, centers):
+    """Record per-primitive best-of-3 timings."""
+    labels, _ = assign_to_centers(dataset, centers)
+    rows = {
+        "primitive:fused_assign_cost": {
+            "seconds": time_best_of(lambda: assign_and_cost(dataset, centers))
+        },
+        "primitive:assign_to_centers": {
+            "seconds": time_best_of(lambda: assign_to_centers(dataset, centers))
+        },
+        "primitive:cluster_means": {
+            "seconds": time_best_of(lambda: cluster_means(dataset, labels, K))
+        },
+        "primitive:kmeans_plus_plus": {
+            "seconds": time_best_of(
+                lambda: kmeans_plus_plus(dataset[:10_000], K, seed=1)
+            )
+        },
+        "primitive:d2_sampling": {
+            "seconds": time_best_of(
+                lambda: d2_sampling(dataset, centers, 512, seed=1)
+            )
+        },
+        "primitive:bicriteria": {
+            "seconds": time_best_of(
+                lambda: bicriteria_approximation(dataset[:10_000], K, seed=1),
+                repeats=1,
+            )
+        },
+        "primitive:lloyd_fit": {
+            "seconds": time_best_of(
+                lambda: WeightedKMeans(k=K, n_init=2, seed=3).fit(dataset[:10_000]),
+                repeats=1,
+            )
+        },
+    }
+    run_once(benchmark, lambda: None)
+    path = record_perf(rows)
+    print(f"\nrecorded primitive timings -> {path}")
+    for name, row in rows.items():
+        print(f"  {name:<34} {row['seconds']:.4f}s")
+
+
+@pytest.mark.parametrize("algorithm", ["fss", "jl-fss"])
+def test_pipeline_wall_clock(benchmark, dataset, algorithm):
+    """Record end-to-end wall-clock of the acceptance pipelines."""
+    pipeline = registry.create_pipeline(
+        algorithm, k=K, coreset_size=500, seed=7
+    )
+    start = time.perf_counter()
+    report = run_once(benchmark, lambda: pipeline.run(dataset))
+    wall = time.perf_counter() - start
+    record_perf({
+        f"pipeline:{algorithm}": {
+            "wall_seconds": wall,
+            "source_seconds": report.source_seconds,
+            "server_seconds": report.server_seconds,
+            "n": float(dataset.shape[0]),
+            "d": float(dataset.shape[1]),
+        }
+    })
+    print(f"\n{algorithm}: wall={wall:.3f}s source={report.source_seconds:.3f}s")

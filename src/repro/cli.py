@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JL target dimension d'")
     parser.add_argument("--quantize-bits", type=int, default=None,
                         help="significant bits kept by the rounding quantizer (default: no quantization)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker threads for per-source computation "
+                             "(multi-source algorithms; 1 = sequential, "
+                             "0 = all cores; results are identical either way)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     return parser
 
@@ -114,6 +118,7 @@ def _make_factory(args: argparse.Namespace):
             jl_dimension=args.jl_dimension,
             quantizer=quantizer,
             seed=seed,
+            jobs=getattr(args, "jobs", None),
         )
 
     return factory, is_multi
@@ -189,6 +194,10 @@ def build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quantize-bits", type=int, default=None,
                         help="significant bits kept by the rounding quantizer "
                              "(default: no quantization)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker threads for per-source batch compression "
+                             "(1 = sequential, 0 = all cores; results are "
+                             "identical either way)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     return parser
 
@@ -217,6 +226,7 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
         window=args.window,
         query_every=args.query_every,
         seed=args.seed,
+        jobs=getattr(args, "jobs", None),
     )
     print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
           f"k={args.k}, sources={args.sources}, batch={args.batch_size}, "

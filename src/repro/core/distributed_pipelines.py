@@ -57,6 +57,10 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
         Optional rounding quantizer applied to outgoing summaries.
     server_n_init:
         Restarts of the server-side weighted k-means solver.
+    jobs:
+        Worker threads for the per-source compute sections (1 = sequential,
+        0 = all cores, ``None`` = the ``REPRO_JOBS`` environment variable).
+        Results are identical for every value.
     seed:
         Master seed.
     """
@@ -74,6 +78,7 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
         quantizer: Optional[RoundingQuantizer] = None,
         server_n_init: int = 5,
         seed: SeedLike = None,
+        jobs: Optional[int] = None,
     ) -> None:
         super().__init__(
             k=k,
@@ -82,6 +87,7 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
             quantizer=quantizer,
             server_n_init=server_n_init,
             seed=seed,
+            jobs=jobs,
         )
         self.pca_rank = pca_rank
         self.total_samples = total_samples

@@ -51,6 +51,7 @@ from repro.quantization.rounding import RoundingQuantizer
 from repro.stages.base import SourceState, Stage, StageContext
 from repro.stages.distributed import DistributedStage, DistributedStageContext
 from repro.stages.qt import QuantizeStage
+from repro.utils.parallel import resolve_jobs
 from repro.utils.random import SeedLike, as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
 
@@ -287,6 +288,7 @@ class DistributedStagePipeline:
         server_n_init: int = 5,
         seed: SeedLike = None,
         name: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(
@@ -295,6 +297,10 @@ class DistributedStagePipeline:
         self.delta = check_fraction(delta, "delta")
         self.quantizer = quantizer
         self.server_n_init = check_positive_int(server_n_init, "server_n_init")
+        #: Worker threads for the per-source compute sections (``None``
+        #: consults ``REPRO_JOBS``; 1 = sequential; 0 = all cores).  Results
+        #: are identical for every value — only wall-clock changes.
+        self.jobs = resolve_jobs(jobs)
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -329,6 +335,7 @@ class DistributedStagePipeline:
             total_cardinality=int(sum(s.shape[0] for s in shards)),
             min_cardinality=int(min(s.shape[0] for s in shards)),
             num_sources=len(shards),
+            jobs=self.jobs,
         )
 
         # Seed handshake before the cluster exists: pre-shared randomness is

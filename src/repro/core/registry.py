@@ -50,14 +50,14 @@ SINGLE_SOURCE_KWARGS = (
 #: Keyword arguments every multi-source factory accepts.
 MULTI_SOURCE_KWARGS = (
     "k", "epsilon", "delta", "pca_rank", "total_samples", "jl_dimension",
-    "quantizer", "server_n_init", "seed",
+    "quantizer", "server_n_init", "seed", "jobs",
 )
 #: Keyword arguments every streaming factory accepts (streaming compositions
 #: consume per-source shards like multi-source ones, plus the stream shape).
 STREAMING_KWARGS = (
     "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
     "quantizer", "batch_size", "window", "query_every", "server_n_init",
-    "server_max_iterations", "seed",
+    "server_max_iterations", "seed", "jobs",
 )
 
 #: Significant bits used by the registered +QT compositions when no explicit
@@ -354,6 +354,7 @@ def _streaming(stages_builder, default_name, default_window=None):
         server_n_init=5,
         server_max_iterations=100,
         seed=None,
+        jobs=None,
     ):
         stages = stages_builder(
             coreset_size=coreset_size,
@@ -373,6 +374,7 @@ def _streaming(stages_builder, default_name, default_window=None):
             server_max_iterations=server_max_iterations,
             seed=seed,
             name=default_name,
+            jobs=jobs,
         )
 
     return factory

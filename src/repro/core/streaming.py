@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -50,7 +51,8 @@ from repro.stages.dr import JLStage
 from repro.stages.qt import QuantizeStage
 from repro.streaming.server import StreamingServer
 from repro.streaming.source import StreamingSource
-from repro.utils.random import SeedLike, as_generator, derive_seed
+from repro.utils.parallel import parallel_map, resolve_jobs
+from repro.utils.random import SeedLike, as_generator, derive_seed, spawn_generators
 from repro.utils.validation import (
     check_fraction,
     check_matrix,
@@ -122,6 +124,12 @@ class StreamingEngine(DistributedStagePipeline):
         Per-query weighted k-means solver parameters.
     seed:
         Master seed for the whole stream (handshake, samplers, solver).
+        Each source gets its own generator pre-derived from it, so results
+        are independent of the execution schedule (``jobs``).
+    jobs:
+        Worker threads for the per-source batch-compression steps (1 =
+        sequential, 0 = all cores, ``None`` = ``REPRO_JOBS``).  Reports are
+        identical for every value — only wall-clock changes.
     """
 
     name: str = "streaming"
@@ -141,6 +149,7 @@ class StreamingEngine(DistributedStagePipeline):
         server_max_iterations: int = 100,
         seed: SeedLike = None,
         name: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         # Deliberately does not call the distributed pipeline's __init__:
         # streaming merges summaries single-source-style, so epsilon is not
@@ -158,6 +167,7 @@ class StreamingEngine(DistributedStagePipeline):
         self.server_max_iterations = check_positive_int(
             server_max_iterations, "server_max_iterations"
         )
+        self.jobs = resolve_jobs(jobs)
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -220,9 +230,22 @@ class StreamingEngine(DistributedStagePipeline):
             max_iterations=self.server_max_iterations,
             seed=derive_seed(self._rng),
         )
+        # Every source draws from its own generator, pre-derived from the
+        # master seed in source order: the per-batch sampler seeds are then
+        # independent of the execution schedule, which is what lets the
+        # compression steps run on a thread pool without losing determinism
+        # (jobs=1 and jobs=N produce identical reports).
+        source_rngs = spawn_generators(self._rng, len(iterators))
         sources = [
             StreamingSource(
-                f"source-{i}", stages, reduce_stage, ctx, network, window=self.window
+                f"source-{i}",
+                stages,
+                reduce_stage,
+                StageContext(
+                    k=self.k, epsilon=self.epsilon, delta=self.delta, rng=source_rngs[i]
+                ),
+                network,
+                window=self.window,
             )
             for i in range(len(iterators))
         ]
@@ -230,6 +253,43 @@ class StreamingEngine(DistributedStagePipeline):
         ledger: Dict[int, List[int]] = {}
         queries: List[QuerySnapshot] = []
         exhausted = [False] * len(iterators)
+        # One long-lived pool for the whole stream: the compress phase runs
+        # once per batch step, and per-step pool setup/teardown would eat
+        # the speed-up on long streams of small batches.
+        executor = (
+            ThreadPoolExecutor(max_workers=min(self.jobs, len(iterators)))
+            if self.jobs > 1 and len(iterators) > 1
+            else None
+        )
+        try:
+            t = self._stream_steps(
+                iterators, sources, server, network, ledger, queries, exhausted,
+                executor,
+            )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+        if t == 0:
+            raise ValueError("the streams yielded no batches")
+        last_step = t - 1
+        if not queries or queries[-1].time != last_step:
+            queries.append(self._query(server, sources, network, ledger, last_step))
+
+        return self._report(sources, server, network, queries, ledger, t)
+
+    def _stream_steps(
+        self,
+        iterators,
+        sources,
+        server,
+        network,
+        ledger,
+        queries,
+        exhausted,
+        executor,
+    ) -> int:
+        """Drive the batch-step loop; returns the number of steps taken."""
         t = 0
         while not all(exhausted):
             # Gather this step's arrivals first: the loop must end *before*
@@ -244,6 +304,19 @@ class StreamingEngine(DistributedStagePipeline):
                 arrivals.append(batch)
             if all(batch is None for batch in arrivals):
                 break
+            # Compute phase: compress this step's batches in parallel (tree
+            # updates and sampler draws touch only source-local state).
+            active = [
+                (source, check_matrix(batch, "batch"))
+                for source, batch in zip(sources, arrivals)
+                if batch is not None
+            ]
+            parallel_map(
+                lambda sb: sb[0].compress(sb[1], t), active, self.jobs,
+                executor=executor,
+            )
+            # Transmission phase: serial, in source order — the metered
+            # uplink and the per-step ledger are schedule-independent.
             for source, batch in zip(sources, arrivals):
                 if batch is None:
                     # Sliding window: an ended stream still ages while others
@@ -254,7 +327,7 @@ class StreamingEngine(DistributedStagePipeline):
                     continue
                 scalars_before = network.uplink_scalars()
                 bits_before = network.uplink_bits()
-                server.fold(source.ingest(check_matrix(batch, "batch"), t))
+                server.fold(source.flush(t))
                 step = ledger.setdefault(t, [0, 0])
                 step[0] += network.uplink_scalars() - scalars_before
                 step[1] += network.uplink_bits() - bits_before
@@ -265,14 +338,7 @@ class StreamingEngine(DistributedStagePipeline):
             ):
                 queries.append(self._query(server, sources, network, ledger, t))
             t += 1
-
-        if t == 0:
-            raise ValueError("the streams yielded no batches")
-        last_step = t - 1
-        if not queries or queries[-1].time != last_step:
-            queries.append(self._query(server, sources, network, ledger, last_step))
-
-        return self._report(sources, server, network, queries, ledger, t)
+        return t
 
     # ------------------------------------------------------------ internals
     def _wire_stages(self) -> List[Stage]:

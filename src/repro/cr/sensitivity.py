@@ -24,7 +24,7 @@ import numpy as np
 from repro.cr.coreset import Coreset
 from repro.kmeans.bicriteria import BicriteriaResult, bicriteria_approximation
 from repro.kmeans.cost import assign_to_centers
-from repro.utils.random import SeedLike, as_generator
+from repro.utils.random import SeedLike, as_generator, weighted_indices
 from repro.utils.validation import (
     check_fraction,
     check_matrix,
@@ -113,12 +113,16 @@ class SensitivitySampler:
         bicriteria = bicriteria_approximation(
             points, self.k, weights=weights, seed=self._rng
         )
-        labels, d2 = assign_to_centers(points, bicriteria.centers)
+        # The bicriteria run caches exactly the assignment this bound needs;
+        # recompute only if a caller handed in a result without the cache.
+        if bicriteria.squared_distances is not None:
+            labels, d2 = bicriteria.labels, bicriteria.squared_distances
+        else:
+            labels, d2 = assign_to_centers(points, bicriteria.centers)
         weighted_d2 = weights * d2
         total_cost = float(weighted_d2.sum())
 
-        cluster_weight = np.zeros(bicriteria.size, dtype=float)
-        np.add.at(cluster_weight, labels, weights)
+        cluster_weight = np.bincount(labels, weights=weights, minlength=bicriteria.size)
         cluster_weight_per_point = cluster_weight[labels]
         # Guard against empty / zero-weight clusters.
         cluster_weight_per_point[cluster_weight_per_point <= 0] = 1.0
@@ -157,7 +161,7 @@ class SensitivitySampler:
 
         scores = self.compute_sensitivities(points, weights)
         probabilities = scores.scores / scores.total
-        indices = self._rng.choice(n, size=size, replace=True, p=probabilities)
+        indices = weighted_indices(self._rng, probabilities, size=size)
 
         sample_weights = weights[indices] / (size * probabilities[indices])
         if self.deterministic_weights:

@@ -68,6 +68,9 @@ class BKLWCoreset:
     quantizer:
         Optional rounding quantizer applied to the outgoing summaries
         (BKLW+QT of Section 6).
+    jobs:
+        Worker threads for the per-source compute steps of both stages
+        (results are identical for any value).
     """
 
     def __init__(
@@ -78,6 +81,7 @@ class BKLWCoreset:
         pca_rank: Optional[int] = None,
         total_samples: Optional[int] = None,
         quantizer: Optional[RoundingQuantizer] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(epsilon, "epsilon", high=1.0 / 3.0, inclusive_high=True)
@@ -85,6 +89,7 @@ class BKLWCoreset:
         self.pca_rank = pca_rank
         self.total_samples = total_samples
         self.quantizer = quantizer
+        self.jobs = jobs
 
     def resolved_samples(self, sources: Sequence[DataSourceNode]) -> int:
         if self.total_samples is not None:
@@ -98,13 +103,16 @@ class BKLWCoreset:
         if not sources:
             raise ValueError("BKLW requires at least one data source")
 
-        dispca = DistributedPCA(k=self.k, epsilon=self.epsilon, rank=self.pca_rank)
+        dispca = DistributedPCA(
+            k=self.k, epsilon=self.epsilon, rank=self.pca_rank, jobs=self.jobs
+        )
         dispca_result = dispca.run(sources, server)
 
         disss = DistributedSensitivitySampler(
             k=self.k,
             total_samples=self.resolved_samples(sources),
             quantizer=self.quantizer,
+            jobs=self.jobs,
         )
         disss_result = disss.run(sources, server)
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.distributed.node import DataSourceNode
 from repro.distributed.server import EdgeServer
 from repro.dr.pca import pca_target_dimension
+from repro.utils.parallel import parallel_map
 from repro.utils.validation import check_fraction, check_positive_int
 
 
@@ -60,10 +61,17 @@ class DistributedPCA:
         Explicit ``t1 = t2`` override; default ``k + ⌈4k/ε²⌉ − 1``.
     """
 
-    def __init__(self, k: int, epsilon: float = 1.0 / 3.0, rank: int | None = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        epsilon: float = 1.0 / 3.0,
+        rank: int | None = None,
+        jobs: int | None = None,
+    ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(epsilon, "epsilon", high=1.0 / 3.0, inclusive_high=True)
         self.rank = rank if rank is None else check_positive_int(rank, "rank")
+        self.jobs = jobs
 
     def resolved_rank(self, d: int, n: int) -> int:
         rank = self.rank or pca_target_dimension(self.k, self.epsilon)
@@ -80,10 +88,11 @@ class DistributedPCA:
 
         before = server.network.uplink_scalars()
 
-        # Step 1: local SVDs, transmitted to the server.
+        # Step 1: local SVDs (parallel per-source compute), then transmit to
+        # the server serially in source order so metering is deterministic.
+        local_svds = parallel_map(lambda source: source.local_svd(rank), sources, self.jobs)
         sketches: List[np.ndarray] = []
-        for source in sources:
-            singular_values, basis = source.local_svd(rank)
+        for source, (singular_values, basis) in zip(sources, local_svds):
             payload = {"singular_values": singular_values, "basis": basis}
             source.send_to_server(payload, tag="dispca-local-svd")
             sketches.append((singular_values[:, None] * basis.T))  # Σ_t V_t^T
@@ -93,11 +102,11 @@ class DistributedPCA:
         global_basis = server.global_svd(stacked, rank)
 
         # Step 3: broadcast the basis (downlink; not counted in the paper's
-        # source-side communication metric but still logged) and project the
-        # local shards.
+        # source-side communication metric but still logged, hence serial)
+        # and project the local shards (parallel: node-local compute).
         for source in sources:
             server.send_to_source(source.node_id, global_basis, tag="dispca-basis")
-            source.project_onto(global_basis)
+        parallel_map(lambda source: source.project_onto(global_basis), sources, self.jobs)
 
         transmitted = server.network.uplink_scalars() - before
         return DisPCAResult(basis=global_basis, rank=rank, transmitted_scalars=transmitted)

@@ -27,6 +27,7 @@ from repro.cr.coreset import Coreset
 from repro.distributed.node import DataSourceNode
 from repro.distributed.server import EdgeServer
 from repro.quantization.rounding import RoundingQuantizer
+from repro.utils.parallel import parallel_map
 from repro.utils.validation import check_fraction, check_positive_int
 
 
@@ -91,6 +92,10 @@ class DistributedSensitivitySampler:
         Size controls of the per-source bicriteria solution ``X_i`` (which is
         transmitted along with the samples); the defaults keep ``|X_i|`` at a
         small multiple of ``k``.
+    jobs:
+        Worker threads for the per-source compute steps (bicriteria and
+        sampling); transmissions stay serial.  Every source draws from its
+        own pre-derived generator, so results are identical for any value.
     """
 
     def __init__(
@@ -100,6 +105,7 @@ class DistributedSensitivitySampler:
         quantizer: Optional[RoundingQuantizer] = None,
         bicriteria_rounds: int = 4,
         bicriteria_batch_factor: int = 3,
+        jobs: Optional[int] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.total_samples = check_positive_int(total_samples, "total_samples")
@@ -108,6 +114,7 @@ class DistributedSensitivitySampler:
         self.bicriteria_batch_factor = check_positive_int(
             bicriteria_batch_factor, "bicriteria_batch_factor"
         )
+        self.jobs = jobs
 
     def run(self, sources: Sequence[DataSourceNode], server: EdgeServer) -> DisSSResult:
         """Execute the protocol and leave the merged coreset at the server."""
@@ -116,16 +123,20 @@ class DistributedSensitivitySampler:
 
         before = server.network.uplink_scalars()
 
-        # Step 1: local bicriteria solutions; report local costs.
-        bicriterias = []
-        local_costs: List[float] = []
-        for source in sources:
-            bicriteria = source.local_bicriteria(
+        # Step 1: local bicriteria solutions (parallel compute — each node
+        # draws from its own generator); costs reported serially in source
+        # order so the transmission log is schedule-independent.
+        bicriterias = parallel_map(
+            lambda source: source.local_bicriteria(
                 self.k,
                 rounds=self.bicriteria_rounds,
                 batch_factor=self.bicriteria_batch_factor,
-            )
-            bicriterias.append(bicriteria)
+            ),
+            sources,
+            self.jobs,
+        )
+        local_costs: List[float] = []
+        for source, bicriteria in zip(sources, bicriterias):
             source.send_to_server(float(bicriteria.cost), tag="disss-local-cost")
             local_costs.append(float(bicriteria.cost))
 
@@ -134,15 +145,23 @@ class DistributedSensitivitySampler:
         for source, size in zip(sources, sizes):
             server.send_to_source(source.node_id, int(size), tag="disss-sample-size")
 
-        # Step 3: local sampling; transmit samples ∪ bicriteria centers with
-        # weights (optionally quantized).
+        # Step 3: local sampling (parallel compute), then transmit samples ∪
+        # bicriteria centers with weights (optionally quantized) serially.
         significant_bits = (
             self.quantizer.significant_bits if self.quantizer is not None else None
         )
-        for source, bicriteria, size in zip(sources, bicriterias, sizes):
+
+        def _sample(args):
+            source, bicriteria, size = args
             sampled_points, weights = source.local_sensitivity_sample(bicriteria, int(size))
             if self.quantizer is not None:
                 sampled_points = source.quantize(sampled_points, self.quantizer)
+            return sampled_points, weights
+
+        samples = parallel_map(
+            _sample, list(zip(sources, bicriterias, sizes)), self.jobs
+        )
+        for source, (sampled_points, weights) in zip(sources, samples):
             source.send_to_server(
                 sampled_points, tag="disss-samples", significant_bits=significant_bits
             )

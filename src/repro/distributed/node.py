@@ -20,7 +20,7 @@ from repro.kmeans.bicriteria import BicriteriaResult, bicriteria_approximation
 from repro.kmeans.cost import assign_to_centers
 from repro.quantization.rounding import RoundingQuantizer
 from repro.utils.linalg import safe_svd
-from repro.utils.random import SeedLike, as_generator
+from repro.utils.random import SeedLike, as_generator, weighted_indices
 from repro.utils.validation import check_matrix, check_positive_int
 
 
@@ -52,6 +52,12 @@ class DataSourceNode:
         self.rng = as_generator(seed)
         #: Wall-clock seconds spent in local computation on this node.
         self.compute_seconds = 0.0
+        # (bicriteria result, the exact points array it was computed on) —
+        # lets the sampling step reuse the cached assignment safely: any
+        # local transform (JL, projection) replaces self.points with a new
+        # array, which invalidates the pair by identity.
+        self._cached_bicriteria = None
+        self._cached_bicriteria_points = None
 
     # -------------------------------------------------------------- helpers
     @property
@@ -123,7 +129,7 @@ class DataSourceNode:
         ``X_i``; since ``X_i`` is transmitted along with the samples, smaller
         values trade a little sampling quality for less communication.
         """
-        return self._timed(
+        result = self._timed(
             bicriteria_approximation,
             self.points,
             k,
@@ -131,6 +137,9 @@ class DataSourceNode:
             batch_factor=batch_factor,
             seed=self.rng,
         )
+        self._cached_bicriteria = result
+        self._cached_bicriteria_points = self.points
+        return result
 
     def local_sensitivity_sample(
         self,
@@ -150,7 +159,19 @@ class DataSourceNode:
         sample_size = check_positive_int(sample_size, "sample_size")
 
         def _sample():
-            labels, d2 = assign_to_centers(self.points, bicriteria.centers)
+            # The bicriteria step cached its assignment of these exact local
+            # points; reuse it rather than paying another full pass.  Any
+            # shard transform since then (apply_jl / project_onto) replaced
+            # self.points, so identity of both the result and the array
+            # guarantees the cache still describes the current geometry.
+            if (
+                bicriteria is self._cached_bicriteria
+                and self.points is self._cached_bicriteria_points
+                and bicriteria.squared_distances is not None
+            ):
+                labels, d2 = bicriteria.labels, bicriteria.squared_distances
+            else:
+                labels, d2 = assign_to_centers(self.points, bicriteria.centers)
             total = float(d2.sum())
             n_local = self.points.shape[0]
             if total <= 0:
@@ -161,15 +182,15 @@ class DataSourceNode:
                 probabilities = np.maximum(probabilities, 1e-18)
                 probabilities /= probabilities.sum()
             size = min(sample_size, n_local)
-            indices = self.rng.choice(n_local, size=size, replace=True, p=probabilities)
+            indices = weighted_indices(self.rng, probabilities, size=size)
             sample_weights = 1.0 / (size * probabilities[indices])
 
             # Residual weight per bicriteria center: cluster size minus the
             # weight already assigned to samples from that cluster.
-            center_weights = np.zeros(bicriteria.size, dtype=float)
             cluster_sizes = np.bincount(labels, minlength=bicriteria.size).astype(float)
-            sampled_weight_per_cluster = np.zeros(bicriteria.size, dtype=float)
-            np.add.at(sampled_weight_per_cluster, labels[indices], sample_weights)
+            sampled_weight_per_cluster = np.bincount(
+                labels[indices], weights=sample_weights, minlength=bicriteria.size
+            )
             center_weights = np.maximum(cluster_sizes - sampled_weight_per_cluster, 0.0)
 
             points_out = np.vstack([self.points[indices], bicriteria.centers])

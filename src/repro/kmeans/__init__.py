@@ -13,6 +13,7 @@ from repro.kmeans.cost import (
     weighted_kmeans_cost,
     partition_cost,
     assign_to_centers,
+    assign_and_cost,
     cluster_means,
 )
 from repro.kmeans.seeding import kmeans_plus_plus, d2_sampling
@@ -24,6 +25,7 @@ __all__ = [
     "weighted_kmeans_cost",
     "partition_cost",
     "assign_to_centers",
+    "assign_and_cost",
     "cluster_means",
     "kmeans_plus_plus",
     "d2_sampling",

@@ -13,17 +13,29 @@ Two consumers in this library:
   to upper-bound point sensitivities;
 * the quantizer configuration of Section 6.3 uses ``cost(P, B)/20`` as the
   lower bound ``E`` on the optimal k-means cost.
+
+Performance: each adaptive round maintains the per-point min-distance vector
+*incrementally* — only distances to the centers added in that round are
+computed, then folded into the running minimum.  The naive formulation
+re-scanned the full (growing) center set twice per round (once to sample,
+once for the residual cost), which made the bicriteria step the dominant
+cost of every sensitivity-sampling pipeline; the incremental sweep computes
+each (point, center) distance exactly once across the whole run and produces
+bit-identical draws.  Nearest-center labels and distances are computed once,
+for the winning repetition only, and cached on the result for downstream
+reuse (the sensitivity sampler needs exactly those quantities).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from repro.kmeans.cost import assign_to_centers, weighted_kmeans_cost
+from repro.kmeans.cost import assign_to_centers
 from repro.kmeans.seeding import d2_sampling
+from repro.utils.linalg import pairwise_squared_distances
 from repro.utils.random import SeedLike, as_generator, spawn_generators
 from repro.utils.validation import check_matrix, check_positive_int, check_weights
 
@@ -42,12 +54,17 @@ class BicriteriaResult:
         Nearest-center assignment of the input points.
     rounds:
         Number of adaptive-sampling rounds used by the winning repetition.
+    squared_distances:
+        Per-point squared distance to the nearest center (the ``D²`` vector
+        matching ``labels``); cached so consumers such as the sensitivity
+        sampler do not pay another full assignment pass.
     """
 
     centers: np.ndarray
     cost: float
     labels: np.ndarray
     rounds: int
+    squared_distances: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def size(self) -> int:
@@ -105,16 +122,25 @@ def bicriteria_approximation(
         rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
     rounds = check_positive_int(rounds, "rounds")
 
-    best: Optional[BicriteriaResult] = None
+    best_centers: Optional[np.ndarray] = None
+    best_cost = np.inf
     for rep_rng in spawn_generators(rng, repetitions):
-        centers = _single_adaptive_run(points, k, weights, rounds, batch_factor, rep_rng)
-        cost = weighted_kmeans_cost(points, centers, weights)
-        if best is None or cost < best.cost:
-            labels, _ = assign_to_centers(points, centers)
-            best = BicriteriaResult(
-                centers=centers, cost=float(cost), labels=labels, rounds=rounds
-            )
-    return best
+        centers, cost = _single_adaptive_run(
+            points, k, weights, rounds, batch_factor, rep_rng
+        )
+        if best_centers is None or cost < best_cost:
+            best_centers = centers
+            best_cost = cost
+    # Labels (and the matching D² vector) are needed only for the winner, so
+    # the losing repetitions never pay the assignment pass.
+    labels, d2 = assign_to_centers(points, best_centers)
+    return BicriteriaResult(
+        centers=best_centers,
+        cost=float(best_cost),
+        labels=labels,
+        rounds=rounds,
+        squared_distances=d2,
+    )
 
 
 def _single_adaptive_run(
@@ -124,21 +150,39 @@ def _single_adaptive_run(
     rounds: int,
     batch_factor: int,
     rng: np.random.Generator,
-) -> np.ndarray:
-    """One adaptive-sampling pass: iteratively add D²-sampled batches."""
+):
+    """One adaptive-sampling pass: iteratively add D²-sampled batches.
+
+    Returns ``(centers, cost)``.  The per-point min squared distance to the
+    selected set is maintained incrementally: each round computes distances
+    to that round's *newly added* centers only.
+    """
     n = points.shape[0]
     batch = min(batch_factor * k, n)
-    selected_indices: list[int] = []
-    centers: Optional[np.ndarray] = None
+    selected = np.zeros(n, dtype=bool)
+    closest: Optional[np.ndarray] = None
+    residual = np.inf
 
     for _ in range(rounds):
-        indices, _ = d2_sampling(points, centers, batch, weights=weights, seed=rng)
-        selected_indices.extend(int(i) for i in indices)
-        unique = np.unique(np.asarray(selected_indices, dtype=int))
-        centers = points[unique]
+        indices, _ = d2_sampling(
+            points, None, batch, weights=weights, seed=rng,
+            min_squared_distances=closest,
+        )
+        fresh = np.unique(indices[~selected[indices]])
+        selected[fresh] = True
+        if fresh.size:
+            new_d2 = pairwise_squared_distances(points, points[fresh]).min(axis=1)
+            if closest is None:
+                closest = new_d2
+            else:
+                np.minimum(closest, new_d2, out=closest)
         # Early exit: once the residual cost is (numerically) zero every
         # point coincides with a selected center and further rounds are moot.
-        residual = weighted_kmeans_cost(points, centers, weights)
+        residual = float(np.dot(weights, closest))
         if residual <= 0.0:
             break
-    return centers if centers is not None else points[:1].copy()
+
+    # rounds >= 1 and every d2_sampling call returns >= 1 index, so at least
+    # one point is always selected.
+    centers = points[np.flatnonzero(selected)]
+    return centers, residual

@@ -8,6 +8,14 @@ Implements the cost definitions used throughout the paper:
 * Eq. (4): coreset cost — weighted cost plus the constant shift Δ
   (evaluated here through :func:`weighted_kmeans_cost`; the Δ bookkeeping
   lives in :class:`repro.cr.coreset.Coreset`).
+
+All nearest-center passes funnel through one fused blockwise kernel
+(:func:`_nearest_center_pass`): a single sweep over the data computes labels
+and min-distances together inside a preallocated distance buffer, and
+:func:`assign_and_cost` additionally folds in the weighted cost — so callers
+that need all three (Lloyd iterations, samplers) pay one pass instead of
+three.  The kernels preserve the input floating dtype, enabling an opt-in
+``float32`` compute path.
 """
 
 from __future__ import annotations
@@ -24,43 +32,106 @@ from repro.utils.validation import check_matrix, check_weights
 _BLOCK_ROWS = 8192
 
 
-def _min_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    """Distance from every point to its nearest center (squared)."""
+def _nearest_center_pass(
+    points: np.ndarray,
+    centers: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    dists: Optional[np.ndarray] = None,
+    second_dists: Optional[np.ndarray] = None,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """One fused blockwise sweep: nearest-center labels and/or distances.
+
+    Writes into the provided output arrays (allocating any that are
+    ``None`` except ``labels``/``second_dists``, which are only computed when
+    requested) and reuses a single preallocated ``(block, k)`` distance
+    buffer across blocks.  Returns ``(labels, dists)``.
+    """
     n = points.shape[0]
-    out = np.empty(n, dtype=float)
-    # The centers are constant across blocks; hoist their squared norms.
+    k = centers.shape[0]
+    if dists is None:
+        dists = np.empty(n, dtype=np.result_type(points, centers))
     center_norms = squared_norms(centers)
+    block = min(_BLOCK_ROWS, n)
+    buf = np.empty((block, k), dtype=np.result_type(points, centers))
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
         d2 = pairwise_squared_distances(
-            points[start:stop], centers, b_squared_norms=center_norms
+            points[start:stop], centers,
+            b_squared_norms=center_norms, out=buf[: stop - start],
         )
-        out[start:stop] = d2.min(axis=1)
-    return out
+        if labels is None and second_dists is None:
+            dists[start:stop] = d2.min(axis=1)
+            continue
+        block_labels = d2.argmin(axis=1)
+        rows = np.arange(stop - start)
+        if labels is not None:
+            labels[start:stop] = block_labels
+        dists[start:stop] = d2[rows, block_labels]
+        if second_dists is not None:
+            # Mask out the winner and take the runner-up (used by the
+            # Hamerly-bounded Lloyd variant for its lower bounds).
+            d2[rows, block_labels] = np.inf
+            second_dists[start:stop] = d2.min(axis=1)
+    return labels, dists
 
 
-def assign_to_centers(points: np.ndarray, centers: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _min_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Distance from every point to its nearest center (squared)."""
+    _, dists = _nearest_center_pass(points, centers)
+    return dists
+
+
+def assign_to_centers(
+    points: np.ndarray, centers: np.ndarray, preserve_dtype: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
     """Assign each point to its nearest center.
 
     Returns ``(labels, squared_distances)`` where ``labels[i]`` is the index
     of the nearest center of ``points[i]`` and ``squared_distances[i]`` the
     squared Euclidean distance to it.  Ties are broken toward the
     lowest-index center, matching the paper's "ties broken arbitrarily".
+
+    ``preserve_dtype=True`` opts into single-precision compute for float32
+    inputs (callers accept the reduced accuracy of the expanded distance
+    formula); the default promotes to float64.
     """
-    points = check_matrix(points, "points")
-    centers = check_matrix(centers, "centers")
-    n = points.shape[0]
-    labels = np.empty(n, dtype=np.int64)
-    dists = np.empty(n, dtype=float)
-    center_norms = squared_norms(centers)
-    for start in range(0, n, _BLOCK_ROWS):
-        stop = min(start + _BLOCK_ROWS, n)
-        d2 = pairwise_squared_distances(
-            points[start:stop], centers, b_squared_norms=center_norms
-        )
-        labels[start:stop] = d2.argmin(axis=1)
-        dists[start:stop] = d2[np.arange(stop - start), labels[start:stop]]
+    points = check_matrix(points, "points", preserve_dtype=preserve_dtype)
+    centers = check_matrix(centers, "centers", preserve_dtype=preserve_dtype)
+    labels = np.empty(points.shape[0], dtype=np.int64)
+    labels, dists = _nearest_center_pass(points, centers, labels=labels)
     return labels, dists
+
+
+def assign_and_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    shift: float = 0.0,
+    preserve_dtype: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Fused assignment + cost: one pass returns what three passes used to.
+
+    Returns ``(labels, squared_distances, weighted_cost)`` for the same
+    blockwise sweep — ``labels`` and ``squared_distances`` exactly as
+    :func:`assign_to_centers` and ``weighted_cost`` exactly as
+    :func:`weighted_kmeans_cost` (bit-for-bit: the cost is the dot product of
+    the weights with the very distance vector the assignment produced).
+
+    This is the hot kernel of the Lloyd solver: one iteration needs the
+    labels (to update means), the distances (to reseed empty clusters), and
+    the cost (to test convergence), and computing them together halves the
+    number of full-data distance sweeps per iteration.
+
+    ``preserve_dtype=True`` opts float32 inputs into single-precision
+    compute (the solver's ``compute_dtype`` path); the default promotes to
+    float64.
+    """
+    points = check_matrix(points, "points", preserve_dtype=preserve_dtype)
+    centers = check_matrix(centers, "centers", preserve_dtype=preserve_dtype)
+    weights = check_weights(weights, points.shape[0])
+    labels = np.empty(points.shape[0], dtype=np.int64)
+    labels, dists = _nearest_center_pass(points, centers, labels=labels)
+    return labels, dists, float(np.dot(weights, dists) + shift)
 
 
 def kmeans_cost(points: np.ndarray, centers: np.ndarray) -> float:
@@ -99,21 +170,43 @@ def cluster_means(
     labels: np.ndarray,
     k: int,
     weights: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    return_totals: bool = False,
+    preserve_dtype: bool = False,
+):
     """Weighted means of each cluster; empty clusters return a zero row.
 
     The optimal 1-means center of a cluster is its (weighted) sample mean
-    μ(P) — see Section 3.1 of the paper.
+    μ(P) — see Section 3.1 of the paper.  Segment sums run through
+    per-dimension :func:`numpy.bincount` (accumulating in the same element
+    order as a scatter-add, hence numerically identical) rather than
+    ``np.add.at``, whose unbuffered fancy-index dispatch is an order of
+    magnitude slower on large inputs.
+
+    With ``return_totals=True`` also returns the per-cluster weight totals,
+    which callers like the Lloyd solver need anyway for empty-cluster
+    detection — saving a redundant ``bincount`` pass.
     """
-    points = check_matrix(points, "points")
+    points = check_matrix(points, "points", preserve_dtype=preserve_dtype)
     weights = check_weights(weights, points.shape[0])
+    labels = np.asarray(labels, dtype=np.int64)
     d = points.shape[1]
-    means = np.zeros((k, d), dtype=float)
-    totals = np.zeros(k, dtype=float)
-    np.add.at(totals, labels, weights)
-    np.add.at(means, labels, points * weights[:, None])
+    totals = np.bincount(labels, weights=weights, minlength=k)
+    # Match the points' dtype so the float32 compute path does not allocate
+    # a promoted float64 copy of the data; float64 inputs are unaffected.
+    # (The per-cluster accumulation below always runs in float64: bincount
+    # sums its weights at double precision regardless of input dtype.)
+    if weights.dtype != points.dtype:
+        weighted = points * weights.astype(points.dtype)[:, None]
+    else:
+        weighted = points * weights[:, None]
+    means = np.empty((k, d), dtype=float)
+    for j in range(d):
+        means[:, j] = np.bincount(labels, weights=weighted[:, j], minlength=k)
     nonempty = totals > 0
+    means[~nonempty] = 0.0
     means[nonempty] /= totals[nonempty, None]
+    if return_totals:
+        return means, totals
     return means
 
 

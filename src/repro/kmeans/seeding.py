@@ -6,6 +6,14 @@ proportional to the current squared distance without updating the running
 minimum per chosen point) is exposed separately because the bicriteria
 approximation of Aggarwal–Deshpande–Kannan (paper reference [36]/[42])
 repeatedly draws batches with it.
+
+All weighted draws go through the cumulative-sum + ``searchsorted`` sampler
+(:func:`repro.utils.random.weighted_indices`), which is bit-compatible with
+``Generator.choice(p=...)`` but skips its per-call probability re-validation
+— the dominant overhead when k-means++ redraws from a fresh score vector for
+every selected center.  ``d2_sampling`` additionally accepts a precomputed
+min-distance vector so adaptive-sampling callers can maintain it
+incrementally instead of re-scanning all previously selected centers.
 """
 
 from __future__ import annotations
@@ -14,14 +22,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.utils.linalg import pairwise_squared_distances
-from repro.utils.random import SeedLike, as_generator
+from repro.utils.linalg import pairwise_squared_distances, squared_norms
+from repro.utils.random import SeedLike, as_generator, weighted_index_from_scores
 from repro.utils.validation import check_matrix, check_positive_int, check_weights
-
-
-def _weighted_choice(rng: np.random.Generator, probabilities: np.ndarray) -> int:
-    """Draw one index according to ``probabilities`` (assumed to sum to 1)."""
-    return int(rng.choice(probabilities.shape[0], p=probabilities))
 
 
 def kmeans_plus_plus(
@@ -29,6 +32,7 @@ def kmeans_plus_plus(
     k: int,
     weights: Optional[np.ndarray] = None,
     seed: SeedLike = None,
+    local_trials: Optional[int] = None,
 ) -> np.ndarray:
     """k-means++ seeding on a weighted point set.
 
@@ -43,6 +47,11 @@ def kmeans_plus_plus(
         point is proportional to ``weight * D(point)^2``.
     seed:
         RNG seed or generator.
+    local_trials:
+        Optional greedy variant (scikit-learn style): draw this many
+        candidates per step and keep the one that reduces the potential
+        ``sum(w * D^2)`` most.  ``None`` (default) keeps the classic
+        single-candidate draw — and its exact RNG stream.
 
     Returns
     -------
@@ -55,14 +64,22 @@ def kmeans_plus_plus(
     weights = check_weights(weights, n)
     rng = as_generator(seed)
     k = min(k, n)
+    if local_trials is not None:
+        local_trials = check_positive_int(local_trials, "local_trials")
 
     total_weight = weights.sum()
     if total_weight <= 0:
         raise ValueError("weights must contain at least one positive entry")
 
-    first = _weighted_choice(rng, weights / total_weight)
+    # Hoisted across all candidate-distance updates below.
+    point_norms = squared_norms(points)
+
+    first = weighted_index_from_scores(rng, weights)
     chosen = [first]
-    closest = pairwise_squared_distances(points, points[[first]]).ravel()
+    closest = pairwise_squared_distances(
+        points, points[[first]],
+        a_squared_norms=point_norms, b_squared_norms=point_norms[[first]],
+    ).ravel()
 
     for _ in range(1, k):
         scores = weights * closest
@@ -72,10 +89,28 @@ def kmeans_plus_plus(
             # among not-yet-chosen indices to keep centers distinct if possible.
             remaining = np.setdiff1d(np.arange(n), np.asarray(chosen))
             pick = int(rng.choice(remaining)) if remaining.size else int(rng.integers(n))
+            new_d = pairwise_squared_distances(
+                points, points[[pick]],
+                a_squared_norms=point_norms, b_squared_norms=point_norms[[pick]],
+            ).ravel()
+        elif local_trials is None or local_trials <= 1:
+            pick = weighted_index_from_scores(rng, scores)
+            new_d = pairwise_squared_distances(
+                points, points[[pick]],
+                a_squared_norms=point_norms, b_squared_norms=point_norms[[pick]],
+            ).ravel()
         else:
-            pick = _weighted_choice(rng, scores / total)
+            candidates = weighted_index_from_scores(rng, scores, size=local_trials)
+            candidate_d = pairwise_squared_distances(
+                points, points[candidates],
+                a_squared_norms=point_norms, b_squared_norms=point_norms[candidates],
+            )
+            np.minimum(candidate_d, closest[:, None], out=candidate_d)
+            potentials = weights @ candidate_d
+            best = int(np.argmin(potentials))
+            pick = int(candidates[best])
+            new_d = candidate_d[:, best]
         chosen.append(pick)
-        new_d = pairwise_squared_distances(points, points[[pick]]).ravel()
         np.minimum(closest, new_d, out=closest)
 
     return points[np.asarray(chosen, dtype=int)].copy()
@@ -87,6 +122,7 @@ def d2_sampling(
     batch_size: int,
     weights: Optional[np.ndarray] = None,
     seed: SeedLike = None,
+    min_squared_distances: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Draw a batch of points with probability proportional to weighted D².
 
@@ -94,6 +130,10 @@ def d2_sampling(
     selected so far, each point is sampled with probability proportional to
     its weighted squared distance to the nearest current center (uniformly by
     weight if no centers have been selected yet).
+
+    ``min_squared_distances`` lets iterative callers pass the current
+    min-distance vector (maintained incrementally as centers accumulate)
+    instead of having it recomputed from scratch against every center.
 
     Returns
     -------
@@ -106,7 +146,9 @@ def d2_sampling(
     weights = check_weights(weights, n)
     rng = as_generator(seed)
 
-    if current_centers is None or len(current_centers) == 0:
+    if min_squared_distances is not None:
+        scores = weights * min_squared_distances
+    elif current_centers is None or len(current_centers) == 0:
         scores = weights.copy()
     else:
         centers = check_matrix(current_centers, "current_centers")
@@ -115,8 +157,9 @@ def d2_sampling(
 
     total = scores.sum()
     if total <= 0:
-        probabilities = weights / weights.sum()
-    else:
-        probabilities = scores / total
-    indices = rng.choice(n, size=batch_size, replace=True, p=probabilities)
+        weight_total = weights.sum()
+        if weight_total <= 0:
+            raise ValueError("weights must contain at least one positive entry")
+        scores = weights
+    indices = weighted_index_from_scores(rng, scores, size=batch_size)
     return indices, points[indices].copy()

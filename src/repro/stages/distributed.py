@@ -31,6 +31,7 @@ from repro.distributed.cluster import EdgeCluster
 from repro.dr.jl import JLProjection, jl_target_dimension
 from repro.stages.base import StageContext
 from repro.stages.sizing import default_distributed_samples, default_pca_rank
+from repro.utils.parallel import parallel_map
 from repro.utils.validation import check_positive_int
 
 
@@ -50,6 +51,9 @@ class DistributedStageContext(StageContext):
     total_cardinality: int = 0
     min_cardinality: int = 0
     num_sources: int = 0
+    #: Worker threads available for per-source compute sections (1 =
+    #: sequential).  Stages must keep network transmissions serial.
+    jobs: int = 1
 
 
 @dataclass
@@ -126,8 +130,9 @@ class SharedJLStage(DistributedStage):
         target = self.resolve_dimension(cluster, ctx)
         seed = self.shared_seed
         projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
-        for source in cluster.sources:
-            source.apply_jl(projection)
+        # Pure local compute (the projection matrix is pre-shared and every
+        # node owns its shard), so the per-source loop parallelises freely.
+        parallel_map(lambda source: source.apply_jl(projection), cluster.sources, ctx.jobs)
 
         def lift(centers):
             server_projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
@@ -177,6 +182,7 @@ class BKLWStage(DistributedStage):
             pca_rank=self.resolve_rank(ctx),
             total_samples=self.resolve_samples(ctx),
             quantizer=ctx.quantizer,
+            jobs=ctx.jobs,
         )
         built = builder.build(cluster.sources, cluster.server)
         return DistributedStageEffect(
@@ -197,12 +203,20 @@ class RawGatherStage(DistributedStage):
     def apply_to_cluster(
         self, cluster: EdgeCluster, ctx: DistributedStageContext
     ) -> DistributedStageEffect:
-        for source in cluster.sources:
-            payload = source.points
-            bits = None
-            if ctx.quantizer is not None:
-                payload = source.quantize(payload, ctx.quantizer)
-                bits = ctx.quantizer.significant_bits
+        bits = None
+        if ctx.quantizer is not None:
+            # Compute phase (parallel): quantization is node-local work.
+            payloads = parallel_map(
+                lambda source: source.quantize(source.points, ctx.quantizer),
+                cluster.sources,
+                ctx.jobs,
+            )
+            bits = ctx.quantizer.significant_bits
+        else:
+            payloads = [source.points for source in cluster.sources]
+        # Transmission phase (serial, source order): metering stays
+        # deterministic whatever the compute interleaving was.
+        for source, payload in zip(cluster.sources, payloads):
             source.send_to_server(payload, tag="raw-data", significant_bits=bits)
             cluster.server.receive_coreset(
                 Coreset(payload, np.ones(payload.shape[0]), shift=0.0)

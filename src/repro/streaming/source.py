@@ -95,10 +95,23 @@ class StreamingSource:
         self.lifts: Optional[List[CenterLift]] = None
         self.quantizer_bits: Optional[int] = None
         self._shipped: set = set()
+        self._pending_quantizer = None
 
     # ------------------------------------------------------------------ API
     def ingest(self, batch: np.ndarray, batch_index: int) -> SourceUpdate:
         """Compress one batch, update the tree, and uplink the delta."""
+        self.compress(batch, batch_index)
+        return self.flush(batch_index)
+
+    def compress(self, batch: np.ndarray, batch_index: int) -> None:
+        """The compute half of :meth:`ingest`: run the stage composition on
+        the batch and update the local tree — no network activity.
+
+        Touches only source-local state (the tree, the timing counter, and
+        this source's stage context / generator), so the engine may run the
+        ``compress`` steps of all sources in parallel; the network delta is
+        shipped afterwards by :meth:`flush`, serially, in source order.
+        """
         start = time.perf_counter()
         state = SourceState(points=np.asarray(batch, dtype=float))
         lifts: List[CenterLift] = []
@@ -123,10 +136,13 @@ class StreamingSource:
         self.compute_seconds += time.perf_counter() - start
         self.batches_ingested += 1
 
-        quantizer = state.wire_quantizer
-        if quantizer is not None:
-            self.quantizer_bits = int(quantizer.significant_bits)
-        return self._transmit_delta(batch_index, quantizer)
+        self._pending_quantizer = state.wire_quantizer
+        if state.wire_quantizer is not None:
+            self.quantizer_bits = int(state.wire_quantizer.significant_bits)
+
+    def flush(self, batch_index: int) -> SourceUpdate:
+        """The transmit half of :meth:`ingest`: uplink the bucket delta."""
+        return self._transmit_delta(batch_index, self._pending_quantizer)
 
     def advance(self, batch_index: int) -> SourceUpdate:
         """Advance stream time without new data: expire and retire only.

@@ -15,16 +15,34 @@ import numpy as np
 from repro.utils.random import SeedLike, as_generator
 
 
+def as_float_array(points: np.ndarray) -> np.ndarray:
+    """Return ``points`` as a float array, preserving ``float32``/``float64``.
+
+    Contiguous float arrays pass through without a copy; every other dtype is
+    cast to ``float64`` (the library-wide default).  This is the dtype policy
+    of all numerical kernels: computations run in the input's precision, so a
+    caller opting into ``float32`` keeps the smaller footprint end to end.
+    """
+    arr = np.asarray(points)
+    if arr.dtype == np.float32 or arr.dtype == np.float64:
+        return arr
+    return arr.astype(np.float64)
+
+
 def squared_norms(points: np.ndarray) -> np.ndarray:
     """Row-wise squared Euclidean norms of a ``(n, d)`` matrix."""
-    points = np.asarray(points, dtype=float)
+    points = as_float_array(points)
     if points.ndim == 1:
         points = points[None, :]
     return np.einsum("ij,ij->i", points, points)
 
 
 def pairwise_squared_distances(
-    a: np.ndarray, b: np.ndarray, b_squared_norms: np.ndarray = None
+    a: np.ndarray,
+    b: np.ndarray,
+    b_squared_norms: np.ndarray = None,
+    a_squared_norms: np.ndarray = None,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
 
@@ -32,22 +50,39 @@ def pairwise_squared_distances(
     ``|x - y|^2 = |x|^2 - 2 x.y + |y|^2`` and clips tiny negative values
     produced by floating-point cancellation.
 
-    ``b_squared_norms`` lets blockwise callers that sweep many ``a`` blocks
-    against one fixed ``b`` (e.g. nearest-center assignment) pass
-    ``squared_norms(b)`` precomputed instead of recomputing it per block.
+    ``b_squared_norms`` (and symmetrically ``a_squared_norms``) let blockwise
+    callers that sweep many ``a`` blocks against one fixed ``b`` (e.g.
+    nearest-center assignment) pass ``squared_norms(b)`` precomputed instead
+    of recomputing it per block.  ``out`` supplies a preallocated
+    ``(len(a), len(b))`` buffer the whole computation runs in — blockwise
+    sweeps reuse one buffer across blocks instead of allocating a distance
+    matrix per block.
+
+    The computation preserves the input floating dtype: ``float32`` inputs
+    are processed (and returned) in ``float32`` without a silent promotion
+    copy; contiguous ``float64`` inputs are used as-is, copy-free.
     """
-    a = np.atleast_2d(np.asarray(a, dtype=float))
-    b = np.atleast_2d(np.asarray(b, dtype=float))
+    a = np.atleast_2d(as_float_array(a))
+    b = np.atleast_2d(as_float_array(b))
     if a.shape[1] != b.shape[1]:
         raise ValueError(
             f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
         )
     if b_squared_norms is None:
         b_squared_norms = squared_norms(b)
-    cross = a @ b.T
-    d2 = squared_norms(a)[:, None] - 2.0 * cross + b_squared_norms[None, :]
-    np.maximum(d2, 0.0, out=d2)
-    return d2
+    if a_squared_norms is None:
+        a_squared_norms = squared_norms(a)
+    if out is None:
+        out = np.empty((a.shape[0], b.shape[0]), dtype=np.result_type(a, b))
+    # In-place evaluation of |a|^2 - 2 a.b + |b|^2 inside the (possibly
+    # caller-provided) buffer; the operation order matches the naive
+    # expression bit for bit.
+    np.matmul(a, b.T, out=out)
+    out *= -2.0
+    out += a_squared_norms[:, None]
+    out += b_squared_norms[None, :]
+    np.maximum(out, 0.0, out=out)
+    return out
 
 
 def safe_svd(matrix: np.ndarray, full_matrices: bool = False) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -63,6 +63,65 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**63 - 1))
 
 
+def weighted_indices(
+    rng: np.random.Generator,
+    probabilities: np.ndarray,
+    size: Optional[int] = None,
+):
+    """Sample indices proportionally to ``probabilities`` via inverse-CDF.
+
+    Drop-in replacement for ``rng.choice(n, p=probabilities[, size=size])``
+    with replacement: one cumulative sum builds the CDF, then each draw is a
+    single uniform plus an ``O(log n)`` :func:`numpy.searchsorted` lookup —
+    skipping ``Generator.choice``'s per-call probability re-validation, which
+    dominates when the hot samplers draw repeatedly from short-lived score
+    vectors (k-means++, D²-sampling, sensitivity sampling).
+
+    The draw sequence is bit-identical to ``Generator.choice`` (which uses
+    the same inverse-CDF construction internally), so swapping the samplers
+    does not perturb any seeded experiment.
+
+    Returns a python ``int`` when ``size`` is ``None``, else an ``int64``
+    array of ``size`` indices (sampled with replacement).
+    """
+    probabilities = np.asarray(probabilities)
+    if np.any(probabilities < 0):
+        # choice() validated this; a negative entry would make the CDF
+        # non-monotonic and the binary search silently wrong.
+        raise ValueError("probabilities must be non-negative")
+    # Accumulate in float64 regardless of input dtype (choice() casts p the
+    # same way); also keeps the in-place normalization below well-typed for
+    # integer score vectors.
+    cdf = np.cumsum(probabilities, dtype=np.float64)
+    total = cdf[-1]
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError("probabilities must contain positive mass")
+    cdf /= total
+    if size is None:
+        return int(cdf.searchsorted(rng.random(), side="right"))
+    idx = cdf.searchsorted(rng.random(int(size)), side="right")
+    return np.asarray(idx, dtype=np.int64)
+
+
+def weighted_index_from_scores(
+    rng: np.random.Generator, scores: np.ndarray, size: Optional[int] = None
+):
+    """Like :func:`weighted_indices` but for *unnormalized* non-negative
+    scores.
+
+    The scores are normalized before the CDF is built (and the CDF is
+    normalized again inside :func:`weighted_indices`) — deliberately, even
+    though one pass would suffice: this reproduces the exact float sequence
+    of the historical ``rng.choice(n, p=scores/scores.sum())`` call sites, so
+    the draws stay bit-identical to the seeded golden values.  The saving
+    over ``Generator.choice`` is its per-call probability re-validation
+    (a Kahan-summed full-array check), not the normalization itself.
+    """
+    probabilities = np.asarray(scores, dtype=float)
+    probabilities = probabilities / probabilities.sum()
+    return weighted_indices(rng, probabilities, size=size)
+
+
 def permutation_chunks(
     rng: np.random.Generator, n: int, parts: int
 ) -> List[np.ndarray]:

@@ -1,0 +1,288 @@
+"""Tests for the fast numerical core: fused kernels, fast samplers,
+pruned/accelerated Lloyd, and dtype preservation.
+
+Three contracts are pinned here:
+
+1. **Parity** — the fused assignment/cost kernel, the searchsorted samplers,
+   and the incremental bicriteria sweep must match their naive formulations
+   bit for bit (the registry's golden communication values depend on the
+   exact RNG draw sequence, so "equivalent" is not enough).
+2. **Determinism** — seeded runs reproduce exactly, including through the
+   greedy k-means++ variant and the float32 compute path.
+3. **Equivalence** — the opt-in Hamerly-accelerated Lloyd reaches the same
+   labels and cost as the plain loop on separated synthetic data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_mixture
+from repro.kmeans.bicriteria import bicriteria_approximation
+from repro.kmeans.cost import (
+    assign_and_cost,
+    assign_to_centers,
+    cluster_means,
+    weighted_kmeans_cost,
+)
+from repro.kmeans.lloyd import WeightedKMeans
+from repro.kmeans.seeding import d2_sampling, kmeans_plus_plus
+from repro.utils.linalg import pairwise_squared_distances
+from repro.utils.random import weighted_index_from_scores, weighted_indices
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    points = rng.standard_normal((3000, 17)) * 2.0
+    points[1000:2000] += 8.0
+    points[2000:] -= 8.0
+    weights = rng.random(3000) + 0.05
+    return points, weights
+
+
+class TestFusedAssignCost:
+    """The fused kernel must match the naive two-pass computation bit for bit."""
+
+    def test_matches_two_pass_bitwise(self, data):
+        points, weights = data
+        rng = np.random.default_rng(3)
+        centers = points[rng.choice(points.shape[0], size=9, replace=False)]
+
+        labels, d2, cost = assign_and_cost(points, centers, weights)
+        naive_labels, naive_d2 = assign_to_centers(points, centers)
+        naive_cost = weighted_kmeans_cost(points, centers, weights)
+
+        np.testing.assert_array_equal(labels, naive_labels)
+        np.testing.assert_array_equal(d2, naive_d2)
+        assert cost == naive_cost  # bitwise, not approx
+
+    def test_shift_carried(self, data):
+        points, weights = data
+        centers = points[:4]
+        _, _, cost = assign_and_cost(points, centers, weights, shift=2.5)
+        assert cost == weighted_kmeans_cost(points, centers, weights, shift=2.5)
+
+    def test_unweighted_defaults_to_unit_weights(self, data):
+        points, _ = data
+        centers = points[:5]
+        _, d2, cost = assign_and_cost(points, centers)
+        assert cost == float(np.dot(np.ones(points.shape[0]), d2))
+
+    def test_blockwise_matches_single_block(self, data):
+        """Inputs larger than the block size produce the same answer."""
+        from repro.kmeans import cost as cost_mod
+
+        points, weights = data
+        centers = points[:6]
+        full = assign_and_cost(points, centers, weights)
+        original = cost_mod._BLOCK_ROWS
+        try:
+            cost_mod._BLOCK_ROWS = 257  # force many ragged blocks
+            blocked = assign_and_cost(points, centers, weights)
+        finally:
+            cost_mod._BLOCK_ROWS = original
+        np.testing.assert_array_equal(full[0], blocked[0])
+        np.testing.assert_array_equal(full[1], blocked[1])
+        assert full[2] == blocked[2]
+
+
+class TestClusterMeansSegmentSums:
+    def test_matches_scatter_add_bitwise(self, data):
+        points, weights = data
+        labels = np.random.default_rng(5).integers(0, 12, size=points.shape[0])
+        means = cluster_means(points, labels, 12, weights)
+        reference = np.zeros((12, points.shape[1]))
+        totals = np.zeros(12)
+        np.add.at(totals, labels, weights)
+        np.add.at(reference, labels, points * weights[:, None])
+        nonempty = totals > 0
+        reference[nonempty] /= totals[nonempty, None]
+        np.testing.assert_array_equal(means, reference)
+
+    def test_return_totals(self, data):
+        points, weights = data
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        means, totals = cluster_means(points, labels, 3, weights, return_totals=True)
+        assert totals[0] == pytest.approx(weights.sum())
+        assert totals[1] == 0.0 and totals[2] == 0.0
+        np.testing.assert_array_equal(means[1], 0.0)
+
+
+class TestSearchsortedSamplers:
+    """The cumsum+searchsorted samplers must be bit-compatible with
+    ``Generator.choice`` and deterministic under a fixed seed."""
+
+    def test_weighted_indices_matches_generator_choice(self):
+        p = np.abs(np.random.default_rng(0).standard_normal(513))
+        p /= p.sum()
+        a = np.random.default_rng(42).choice(513, size=100, replace=True, p=p)
+        b = weighted_indices(np.random.default_rng(42), p, size=100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_draw_matches_generator_choice(self):
+        p = np.random.default_rng(1).random(64)
+        p /= p.sum()
+        a = int(np.random.default_rng(9).choice(64, p=p))
+        b = weighted_index_from_scores(np.random.default_rng(9), p * 13.0)
+        assert a == b
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            weighted_indices(np.random.default_rng(0), np.zeros(8))
+
+    def test_kmeans_plus_plus_deterministic(self, data):
+        points, weights = data
+        a = kmeans_plus_plus(points, 6, weights=weights, seed=11)
+        b = kmeans_plus_plus(points, 6, weights=weights, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_d2_sampling_deterministic(self, data):
+        points, weights = data
+        centers = points[:3]
+        ia, _ = d2_sampling(points, centers, 40, weights=weights, seed=13)
+        ib, _ = d2_sampling(points, centers, 40, weights=weights, seed=13)
+        np.testing.assert_array_equal(ia, ib)
+
+    def test_d2_sampling_all_zero_weights_raise(self, data):
+        points, _ = data
+        with pytest.raises(ValueError):
+            d2_sampling(points, points[:2], 10, weights=np.zeros(points.shape[0]), seed=0)
+
+    def test_d2_sampling_precomputed_distances_match(self, data):
+        points, weights = data
+        centers = points[:5]
+        closest = pairwise_squared_distances(points, centers).min(axis=1)
+        ia, _ = d2_sampling(points, centers, 30, weights=weights, seed=3)
+        ib, _ = d2_sampling(
+            points, None, 30, weights=weights, seed=3, min_squared_distances=closest
+        )
+        np.testing.assert_array_equal(ia, ib)
+
+    def test_greedy_local_trials_not_worse(self, data):
+        """The greedy variant's seeding potential is no worse on average."""
+        points, weights = data
+
+        def potential(centers):
+            return weighted_kmeans_cost(points, centers, weights)
+
+        plain = np.mean([
+            potential(kmeans_plus_plus(points, 8, weights=weights, seed=s))
+            for s in range(5)
+        ])
+        greedy = np.mean([
+            potential(kmeans_plus_plus(points, 8, weights=weights, seed=s, local_trials=4))
+            for s in range(5)
+        ])
+        assert greedy <= plain * 1.05
+
+    def test_greedy_local_trials_deterministic(self, data):
+        points, weights = data
+        a = kmeans_plus_plus(points, 5, weights=weights, seed=2, local_trials=3)
+        b = kmeans_plus_plus(points, 5, weights=weights, seed=2, local_trials=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestIncrementalBicriteria:
+    def test_cost_matches_full_reassignment(self, data):
+        points, weights = data
+        result = bicriteria_approximation(points, 5, weights=weights, seed=19)
+        recomputed = weighted_kmeans_cost(points, result.centers, weights)
+        assert result.cost == recomputed  # incremental min == full-pass min
+
+    def test_cached_assignment_matches(self, data):
+        points, weights = data
+        result = bicriteria_approximation(points, 5, weights=weights, seed=23)
+        labels, d2 = assign_to_centers(points, result.centers)
+        np.testing.assert_array_equal(result.labels, labels)
+        np.testing.assert_array_equal(result.squared_distances, d2)
+
+
+HAMERLY_DATASETS = [
+    dict(n=600, d=8, k=4, separation=10.0, cluster_std=1.0, seed=1),
+    dict(n=900, d=15, k=3, separation=8.0, cluster_std=1.5, seed=2),
+    dict(n=500, d=25, k=5, separation=12.0, cluster_std=0.8, seed=3),
+]
+
+
+class TestHamerlyEquivalence:
+    @pytest.mark.parametrize("spec", HAMERLY_DATASETS, ids=["ds1", "ds2", "ds3"])
+    def test_same_labels_and_cost_as_plain(self, spec):
+        points, _, _ = make_gaussian_mixture(**spec)
+        k = spec["k"]
+        # tolerance=0 runs both variants to their common fixed point.
+        plain = WeightedKMeans(
+            k=k, n_init=2, max_iterations=200, tolerance=0.0, seed=99
+        ).fit(points)
+        fast = WeightedKMeans(
+            k=k, n_init=2, max_iterations=200, tolerance=0.0, seed=99,
+            accelerate="hamerly",
+        ).fit(points)
+        np.testing.assert_array_equal(plain.labels, fast.labels)
+        assert fast.cost == pytest.approx(plain.cost, rel=1e-9)
+        np.testing.assert_allclose(fast.centers, plain.centers, rtol=1e-9, atol=1e-9)
+
+    def test_invalid_accelerate_mode_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedKMeans(k=2, accelerate="elkan")
+
+    def test_hamerly_weighted(self, data):
+        points, weights = data
+        plain = WeightedKMeans(
+            k=3, n_init=1, max_iterations=100, tolerance=0.0, seed=4
+        ).fit(points, weights)
+        fast = WeightedKMeans(
+            k=3, n_init=1, max_iterations=100, tolerance=0.0, seed=4,
+            accelerate="hamerly",
+        ).fit(points, weights)
+        assert fast.cost == pytest.approx(plain.cost, rel=1e-9)
+
+
+class TestFloat32Path:
+    def test_pairwise_preserves_float32(self):
+        a = np.random.default_rng(0).standard_normal((40, 6)).astype(np.float32)
+        b = np.random.default_rng(1).standard_normal((5, 6)).astype(np.float32)
+        d2 = pairwise_squared_distances(a, b)
+        assert d2.dtype == np.float32
+
+    def test_pairwise_no_copy_for_contiguous_float64(self):
+        """Regression: float inputs must not be silently copied/promoted."""
+        a = np.ascontiguousarray(np.random.default_rng(2).standard_normal((30, 4)))
+        b = np.ascontiguousarray(np.random.default_rng(3).standard_normal((7, 4)))
+        from repro.utils.linalg import as_float_array
+
+        assert as_float_array(a) is a
+        assert as_float_array(b) is b
+        f32 = a.astype(np.float32)
+        assert as_float_array(f32) is f32  # no promotion copy either
+
+    def test_pairwise_out_buffer_is_used_and_matches(self):
+        a = np.random.default_rng(4).standard_normal((25, 9))
+        b = np.random.default_rng(5).standard_normal((6, 9))
+        out = np.empty((25, 6))
+        result = pairwise_squared_distances(a, b, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, pairwise_squared_distances(a, b))
+
+    def test_float32_solver_close_to_float64(self, data):
+        points, weights = data
+        exact = WeightedKMeans(k=3, n_init=2, seed=8).fit(points, weights)
+        single = WeightedKMeans(
+            k=3, n_init=2, seed=8, compute_dtype=np.float32
+        ).fit(points, weights)
+        assert single.centers.dtype == np.float64  # reported in full precision
+        assert single.cost == pytest.approx(exact.cost, rel=1e-3)
+
+    def test_assign_and_cost_float32_is_opt_in(self, data):
+        points, _ = data
+        pts32 = points.astype(np.float32)
+        labels64, d2_default, _ = assign_and_cost(points, points[:4])
+        # Default: float32 input is promoted to float64 at the validation
+        # boundary — the expanded distance formula is unsafe in single
+        # precision, so low precision must never be implicit.
+        _, d2_promoted, _ = assign_and_cost(pts32, pts32[:4])
+        assert d2_promoted.dtype == np.float64
+        # Opt-in: the caller accepts single-precision compute.
+        labels32, d2, cost = assign_and_cost(pts32, pts32[:4], preserve_dtype=True)
+        assert d2.dtype == np.float32
+        # Separated data: the assignment itself agrees across precisions.
+        assert np.mean(labels64 == labels32) > 0.999
