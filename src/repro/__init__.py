@@ -68,7 +68,16 @@ from repro.cr import Coreset, FSSCoreset, SensitivitySampler, UniformCoreset
 from repro.dr import JLProjection, PCAProjection, jl_target_dimension
 from repro.quantization import RoundingQuantizer, IdentityQuantizer
 from repro.kmeans import WeightedKMeans, kmeans_cost, weighted_kmeans_cost
-from repro.distributed import EdgeCluster, SimulatedNetwork, BKLWCoreset
+from repro.distributed import (
+    EdgeCluster,
+    SimulatedNetwork,
+    BKLWCoreset,
+    NetworkCondition,
+    LinkModel,
+    FaultPlan,
+    DeliveryError,
+    NETWORK_PRESETS,
+)
 from repro.datasets import (
     make_gaussian_mixture,
     make_mnist_like,
@@ -140,6 +149,11 @@ __all__ = [
     "EdgeCluster",
     "SimulatedNetwork",
     "BKLWCoreset",
+    "NetworkCondition",
+    "LinkModel",
+    "FaultPlan",
+    "DeliveryError",
+    "NETWORK_PRESETS",
     "make_gaussian_mixture",
     "make_mnist_like",
     "make_neurips_like",

@@ -9,6 +9,8 @@ Example invocations::
     python -m repro --list-algorithms
     python -m repro stream --algorithm stream-fss --batch-size 512 --query-every 4
     python -m repro stream --algorithm stream-fss-window --window 8
+    python -m repro --algorithm bklw --sources 10 --net-preset lossy --dropout 3:1
+    python -m repro stream --algorithm stream-fss --net-preset edge-wan --loss 0.1
 
 Algorithms are resolved through the pipeline registry
 (:mod:`repro.core.registry`), so every registered stage composition — the
@@ -19,6 +21,10 @@ prints the paper's three metrics: normalized k-means cost, normalized
 communication cost, and data-source running time.  The ``stream`` subcommand
 runs a streaming composition over batched arrivals and prints the cost and
 communication of every mid-stream query.
+
+Both subcommands accept the unreliable-edge simulation flags
+(``--net-preset``, ``--loss``, ``--retries``, ``--dropout``); degraded runs
+report their participation, retransmissions, and simulated network time.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Dict, Optional
 
 from repro.core import registry
 from repro.datasets import load_benchmark_dataset
+from repro.distributed.conditions import FaultPlan, NetworkCondition
 from repro.metrics import ExperimentRunner
 from repro.quantization.rounding import RoundingQuantizer
 
@@ -83,7 +90,64 @@ def build_parser() -> argparse.ArgumentParser:
                              "(multi-source algorithms; 1 = sequential, "
                              "0 = all cores; results are identical either way)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    _add_network_arguments(parser)
     return parser
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    """Unreliable-edge simulation flags shared by both subcommands."""
+    group = parser.add_argument_group("network simulation")
+    group.add_argument("--net-preset", choices=registry.network_preset_names(),
+                       default="ideal",
+                       help="simulated network condition preset (default: ideal, "
+                            "the loss-free wire)")
+    group.add_argument("--loss", type=float, default=None,
+                       help="override the per-message Bernoulli loss probability "
+                            "of every link (0 <= loss < 1)")
+    group.add_argument("--retries", type=int, default=None,
+                       help="override the per-message retransmission budget "
+                            "(every attempt is metered)")
+    group.add_argument("--dropout", action="append", default=None,
+                       metavar="SOURCE[:ROUND]",
+                       help="drop source SOURCE (index) permanently at protocol "
+                            "round / batch step ROUND (default 0); repeatable")
+
+
+def _parse_dropout(specs) -> Dict[str, int]:
+    """Parse repeated ``--dropout i[:round]`` flags into a FaultPlan map."""
+    dropout: Dict[str, int] = {}
+    for spec in specs or ():
+        index, _, at_round = str(spec).partition(":")
+        try:
+            dropout[f"source-{int(index)}"] = int(at_round) if at_round else 0
+        except ValueError:
+            raise SystemExit(
+                f"invalid --dropout {spec!r}: expected SOURCE_INDEX[:ROUND]"
+            ) from None
+    return dropout
+
+
+def _network_settings(args: argparse.Namespace) -> Dict[str, object]:
+    """Resolve the network flags into create_pipeline keyword arguments."""
+    condition: NetworkCondition = registry.network_preset(args.net_preset)
+    condition = condition.with_overrides(loss=args.loss, retries=args.retries)
+    dropout = _parse_dropout(args.dropout)
+    return {
+        "network": condition,
+        "fault_plan": FaultPlan(dropout=dropout) if dropout else None,
+        # Loss draws follow the experiment seed so degraded runs reproduce.
+        "network_seed": args.seed,
+    }
+
+
+def _print_degradation(report) -> None:
+    """One status line for runs that saw losses or lost sources."""
+    if report.failed_sources or report.messages_lost:
+        print(f"degraded run: {report.participating_sources} participating, "
+              f"{report.failed_sources} failed source(s), "
+              f"{report.retransmissions} retransmissions, "
+              f"{report.messages_lost} lost messages, "
+              f"{report.simulated_network_seconds:.3f}s simulated network time")
 
 
 def list_algorithms() -> str:
@@ -108,6 +172,8 @@ def _make_factory(args: argparse.Namespace):
     if args.quantize_bits is not None and args.quantize_bits < 53:
         quantizer = RoundingQuantizer(args.quantize_bits)
 
+    network_settings = _network_settings(args)
+
     def factory(seed: int):
         return registry.create_pipeline(
             args.algorithm,
@@ -119,6 +185,7 @@ def _make_factory(args: argparse.Namespace):
             quantizer=quantizer,
             seed=seed,
             jobs=getattr(args, "jobs", None),
+            **network_settings,
         )
 
     return factory, is_multi
@@ -148,10 +215,20 @@ def run(args: argparse.Namespace) -> Dict[str, float]:
         "normalized_communication": summary.mean_normalized_communication,
         "source_seconds": summary.mean_source_seconds,
         "runs": float(summary.runs),
+        "mean_participating_sources": summary.mean_participating_sources,
+        "total_retransmissions": float(summary.total_retransmissions),
     }
     print(f"normalized k-means cost : {row['normalized_cost']:.4f}")
     print(f"normalized communication: {row['normalized_communication']:.6f}")
     print(f"source running time (s) : {row['source_seconds']:.3f}")
+    if summary.total_failed_sources or summary.total_messages_lost:
+        print(f"degraded runs: mean participation "
+              f"{summary.mean_participating_sources:.2f}, "
+              f"{summary.total_failed_sources} failed source(s), "
+              f"{summary.total_retransmissions} retransmissions, "
+              f"{summary.total_messages_lost} lost messages, "
+              f"{summary.mean_simulated_network_seconds:.3f}s mean simulated "
+              f"network time")
     return row
 
 
@@ -199,6 +276,7 @@ def build_stream_parser() -> argparse.ArgumentParser:
                              "(1 = sequential, 0 = all cores; results are "
                              "identical either way)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    _add_network_arguments(parser)
     return parser
 
 
@@ -227,6 +305,7 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
         query_every=args.query_every,
         seed=args.seed,
         jobs=getattr(args, "jobs", None),
+        **_network_settings(args),
     )
     print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
           f"k={args.k}, sources={args.sources}, batch={args.batch_size}, "
@@ -251,10 +330,12 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
         "source_seconds": evaluation.source_seconds,
         "queries": float(len(report.queries)),
         "max_live_buckets": report.details["max_live_buckets"],
+        "participating_sources": float(report.participating_sources),
     }
     print(f"final normalized k-means cost : {row['normalized_cost']:.4f}")
     print(f"final normalized communication: {row['normalized_communication']:.6f}")
     print(f"max live buckets per source   : {int(row['max_live_buckets'])}")
+    _print_degradation(report)
     return row
 
 

@@ -63,6 +63,11 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
         Results are identical for every value.
     seed:
         Master seed.
+    network, fault_plan, retries, network_seed:
+        Simulated-network condition (preset name or
+        :class:`~repro.distributed.conditions.NetworkCondition`), scripted
+        node failures, retry-budget override, and loss-seed override — see
+        :class:`~repro.core.engine.DistributedStagePipeline`.
     """
 
     name: str = "abstract"
@@ -79,6 +84,10 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
         server_n_init: int = 5,
         seed: SeedLike = None,
         jobs: Optional[int] = None,
+        network=None,
+        fault_plan=None,
+        retries: Optional[int] = None,
+        network_seed: Optional[int] = None,
     ) -> None:
         super().__init__(
             k=k,
@@ -88,6 +97,10 @@ class MultiSourcePipeline(DistributedStagePipeline, abc.ABC):
             server_n_init=server_n_init,
             seed=seed,
             jobs=jobs,
+            network=network,
+            fault_plan=fault_plan,
+            retries=retries,
+            network_seed=network_seed,
         )
         self.pca_rank = pca_rank
         self.total_samples = total_samples

@@ -44,6 +44,12 @@ import numpy as np
 
 from repro.core.report import PipelineReport
 from repro.distributed.cluster import EdgeCluster
+from repro.distributed.conditions import (
+    ConditionLike,
+    FaultPlan,
+    NetworkCondition,
+    resolve_condition,
+)
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.partition import partition_dataset
 from repro.kmeans.lloyd import WeightedKMeans
@@ -145,6 +151,19 @@ class StagePipeline:
         Master seed controlling every random choice in the pipeline.
     name:
         Report label; defaults to the class-level ``name``.
+    network:
+        Simulated-network condition: a
+        :class:`~repro.distributed.conditions.NetworkCondition`, a preset
+        name (``"ideal"``, ``"lossy"``, ``"edge-wan"``), or ``None`` for the
+        ideal wire.  Under ``ideal`` every pipeline is bit-identical to the
+        condition-free implementation.
+    fault_plan:
+        Optional scripted node failures (dropout / flaky / stragglers).
+    retries:
+        Override of the condition's per-message retransmission budget.
+    network_seed:
+        Override of the condition's loss/jitter seed (network randomness
+        never touches the pipeline's master generator).
     """
 
     #: Human-readable algorithm name; subclasses or ``name=`` override.
@@ -162,6 +181,10 @@ class StagePipeline:
         server_max_iterations: int = 100,
         seed: SeedLike = None,
         name: Optional[str] = None,
+        network: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retries: Optional[int] = None,
+        network_seed: Optional[int] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(epsilon, "epsilon")
@@ -171,6 +194,10 @@ class StagePipeline:
         self.server_max_iterations = check_positive_int(
             server_max_iterations, "server_max_iterations"
         )
+        self.network_condition: NetworkCondition = resolve_condition(
+            network
+        ).with_overrides(retries=retries, seed=network_seed)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -210,9 +237,17 @@ class StagePipeline:
 
     # ------------------------------------------------------------------ API
     def run(self, points: np.ndarray) -> PipelineReport:
-        """Execute the composition on a dataset held by a single source."""
+        """Execute the composition on a dataset held by a single source.
+
+        Under a lossy condition the wire messages retry up to the budget;
+        with only one source there is no partial participation to fall back
+        to, so an exhausted budget propagates as
+        :class:`~repro.distributed.conditions.DeliveryError`.
+        """
         points = check_matrix(points, "points")
-        network = SimulatedNetwork()
+        network = SimulatedNetwork(
+            condition=self.network_condition, fault_plan=self.fault_plan
+        )
         ctx = StageContext(
             k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
         )
@@ -239,6 +274,7 @@ class StagePipeline:
 
         for tag, payload, bits in wire.messages:
             network.send(_SOURCE, "server", payload, tag=tag, significant_bits=bits)
+        network.advance_round()
 
         # ---------------------------------------------------------- server
         server_start = time.perf_counter()
@@ -260,6 +296,12 @@ class StagePipeline:
             summary_cardinality=wire.cardinality,
             summary_dimension=wire.dimension,
             quantizer_bits=wire.quantizer_bits,
+            participating_sources=1,
+            failed_sources=0,
+            retransmissions=network.retransmissions(),
+            messages_lost=network.lost_messages(),
+            simulated_network_seconds=network.simulated_seconds(),
+            tag_scalars=network.log.scalars_by_tag(),
         )
         return report.with_detail(**details)
 
@@ -289,6 +331,10 @@ class DistributedStagePipeline:
         seed: SeedLike = None,
         name: Optional[str] = None,
         jobs: Optional[int] = None,
+        network: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retries: Optional[int] = None,
+        network_seed: Optional[int] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(
@@ -301,6 +347,13 @@ class DistributedStagePipeline:
         #: consults ``REPRO_JOBS``; 1 = sequential; 0 = all cores).  Results
         #: are identical for every value — only wall-clock changes.
         self.jobs = resolve_jobs(jobs)
+        #: Simulated-network condition (preset name / NetworkCondition /
+        #: None → ideal) with optional retry/seed overrides applied, plus the
+        #: scripted fault plan.  See :mod:`repro.distributed.conditions`.
+        self.network_condition: NetworkCondition = resolve_condition(
+            network
+        ).with_overrides(retries=retries, seed=network_seed)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -348,6 +401,8 @@ class DistributedStagePipeline:
             k=self.k,
             seed=derive_seed(self._rng),
             server_n_init=self.server_n_init,
+            condition=self.network_condition,
+            fault_plan=self.fault_plan,
         )
 
         coreset = None
@@ -374,6 +429,7 @@ class DistributedStagePipeline:
             centers = lift(centers)
         server_seconds = time.perf_counter() - server_start
 
+        failed = len(cluster.failed_source_ids)
         report = PipelineReport(
             algorithm=self.name,
             centers=centers,
@@ -384,6 +440,12 @@ class DistributedStagePipeline:
             summary_cardinality=coreset.size,
             summary_dimension=cluster.dimension,
             quantizer_bits=self.quantizer_bits,
+            participating_sources=cluster.num_sources - failed,
+            failed_sources=failed,
+            retransmissions=cluster.network.retransmissions(),
+            messages_lost=cluster.network.lost_messages(),
+            simulated_network_seconds=cluster.network.simulated_seconds(),
+            tag_scalars=cluster.network.log.scalars_by_tag(),
         )
         return report.with_detail(
             total_source_seconds=cluster.total_source_compute_seconds(),

@@ -73,6 +73,9 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
         Parameters of the server-side weighted k-means solver.
     seed:
         Master seed controlling every random choice in the pipeline.
+    network, fault_plan, retries, network_seed:
+        Simulated-network condition, scripted faults, retry-budget override,
+        and loss-seed override — see :class:`~repro.core.engine.StagePipeline`.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -91,6 +94,10 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
         server_n_init: int = 5,
         server_max_iterations: int = 100,
         seed: SeedLike = None,
+        network=None,
+        fault_plan=None,
+        retries: Optional[int] = None,
+        network_seed: Optional[int] = None,
     ) -> None:
         super().__init__(
             k=k,
@@ -100,6 +107,10 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
             server_n_init=server_n_init,
             server_max_iterations=server_max_iterations,
             seed=seed,
+            network=network,
+            fault_plan=fault_plan,
+            retries=retries,
+            network_seed=network_seed,
         )
         self.coreset_size = coreset_size
         self.pca_rank = pca_rank

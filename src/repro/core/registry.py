@@ -37,28 +37,39 @@ from repro.core.pipelines import (
     JLFSSPipeline,
     NoReductionPipeline,
 )
+from repro.distributed.conditions import (
+    NETWORK_PRESETS,
+    FaultPlan,
+    NetworkCondition,
+    resolve_condition,
+)
 from repro.stages.cr import FSSStage, SensitivityStage, UniformStage
 from repro.stages.dr import JLStage, PCAStage
 from repro.stages.qt import QuantizeStage
+
+#: Network-simulation keyword arguments accepted by every factory kind
+#: (condition preset / NetworkCondition, scripted faults, retry budget,
+#: loss-seed override — see :mod:`repro.distributed.conditions`).
+NETWORK_KWARGS = ("network", "fault_plan", "retries", "network_seed")
 
 #: Keyword arguments every single-source factory accepts.
 SINGLE_SOURCE_KWARGS = (
     "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
     "second_jl_dimension", "quantizer", "server_n_init",
     "server_max_iterations", "seed",
-)
+) + NETWORK_KWARGS
 #: Keyword arguments every multi-source factory accepts.
 MULTI_SOURCE_KWARGS = (
     "k", "epsilon", "delta", "pca_rank", "total_samples", "jl_dimension",
     "quantizer", "server_n_init", "seed", "jobs",
-)
+) + NETWORK_KWARGS
 #: Keyword arguments every streaming factory accepts (streaming compositions
 #: consume per-source shards like multi-source ones, plus the stream shape).
 STREAMING_KWARGS = (
     "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
     "quantizer", "batch_size", "window", "query_every", "server_n_init",
     "server_max_iterations", "seed", "jobs",
-)
+) + NETWORK_KWARGS
 
 #: Significant bits used by the registered +QT compositions when no explicit
 #: quantizer is passed (a mid-sweep value from the paper's Figures 3–6).
@@ -236,6 +247,10 @@ def _single(stages_builder, default_name):
         server_n_init=5,
         server_max_iterations=100,
         seed=None,
+        network=None,
+        fault_plan=None,
+        retries=None,
+        network_seed=None,
     ):
         stages = stages_builder(
             coreset_size=coreset_size,
@@ -253,6 +268,10 @@ def _single(stages_builder, default_name):
             server_max_iterations=server_max_iterations,
             seed=seed,
             name=default_name,
+            network=network,
+            fault_plan=fault_plan,
+            retries=retries,
+            network_seed=network_seed,
         )
 
     return factory
@@ -355,6 +374,10 @@ def _streaming(stages_builder, default_name, default_window=None):
         server_max_iterations=100,
         seed=None,
         jobs=None,
+        network=None,
+        fault_plan=None,
+        retries=None,
+        network_seed=None,
     ):
         stages = stages_builder(
             coreset_size=coreset_size,
@@ -375,6 +398,10 @@ def _streaming(stages_builder, default_name, default_window=None):
             seed=seed,
             name=default_name,
             jobs=jobs,
+            network=network,
+            fault_plan=fault_plan,
+            retries=retries,
+            network_seed=network_seed,
         )
 
     return factory
@@ -458,6 +485,16 @@ def make_stage_pipeline(stages, *, multi_source: bool = False, **kwargs):
     return engine_cls(stages, **kwargs)
 
 
+def network_preset_names() -> List[str]:
+    """Sorted names of the registered network-condition presets."""
+    return sorted(NETWORK_PRESETS)
+
+
+def network_preset(name: str) -> NetworkCondition:
+    """Build a fresh :class:`NetworkCondition` from a registered preset."""
+    return resolve_condition(name)
+
+
 __all__ = [
     "PipelineSpec",
     "register_pipeline",
@@ -468,8 +505,14 @@ __all__ = [
     "is_multi_source",
     "is_streaming",
     "make_stage_pipeline",
+    "network_preset_names",
+    "network_preset",
+    "NETWORK_PRESETS",
+    "NetworkCondition",
+    "FaultPlan",
     "SINGLE_SOURCE_KWARGS",
     "MULTI_SOURCE_KWARGS",
     "STREAMING_KWARGS",
+    "NETWORK_KWARGS",
     "DEFAULT_QT_BITS",
 ]

@@ -42,8 +42,25 @@ class PipelineReport:
     quantizer_bits:
         Significant bits retained by the quantizer, or ``None`` when no
         quantization was applied.
+    participating_sources:
+        Sources that contributed to the final fold (equals the deployment's
+        source count on a healthy run; smaller when links or nodes failed).
+    failed_sources:
+        Sources excluded mid-protocol (dropout, flaky window, or exhausted
+        retry budget).
+    retransmissions:
+        Retry attempts the simulated network recorded (0 on an ideal wire).
+    messages_lost:
+        Transmission attempts dropped by the simulated links.
+    simulated_network_seconds:
+        Simulated transmission wall-time: per-link serial time, links in
+        parallel (``latency + bits/bandwidth`` per message, including lost
+        attempts and straggler factors).  0 on the ideal wire.
+    tag_scalars:
+        Per-tag uplink+downlink scalar breakdown of the transmission log
+        (``scalars_by_tag``), pinned by the golden communication fixture.
     details:
-        Free-form extra accounting (per-tag scalar breakdown etc.).
+        Free-form extra accounting (per-stage detail entries etc.).
     """
 
     algorithm: str
@@ -55,7 +72,18 @@ class PipelineReport:
     summary_cardinality: int = 0
     summary_dimension: int = 0
     quantizer_bits: Optional[int] = None
+    participating_sources: int = 1
+    failed_sources: int = 0
+    retransmissions: int = 0
+    messages_lost: int = 0
+    simulated_network_seconds: float = 0.0
+    tag_scalars: Optional[Dict[str, int]] = None
     details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed with partial participation."""
+        return self.failed_sources > 0
 
     # ------------------------------------------------------------ derived
     def normalized_communication(self, n: int, d: int) -> float:

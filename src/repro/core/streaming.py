@@ -42,6 +42,11 @@ import numpy as np
 from repro.core.engine import DistributedStagePipeline
 from repro.core.report import PipelineReport
 from repro.datasets.streams import iter_batches
+from repro.distributed.conditions import (
+    ConditionLike,
+    FaultPlan,
+    resolve_condition,
+)
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.partition import partition_dataset
 from repro.quantization.rounding import RoundingQuantizer
@@ -130,6 +135,14 @@ class StreamingEngine(DistributedStagePipeline):
         Worker threads for the per-source batch-compression steps (1 =
         sequential, 0 = all cores, ``None`` = ``REPRO_JOBS``).  Reports are
         identical for every value — only wall-clock changes.
+    network, fault_plan, retries, network_seed:
+        Simulated-network condition, scripted faults, retry-budget override,
+        and loss-seed override.  In streaming mode the fault plan's rounds
+        are *batch steps*: a dropout at round ``t`` removes the source from
+        step ``t`` onwards (its last shipped summary stays at the server), a
+        flaky window ``[a, b)`` makes steps ``a..b-1`` undeliverable — the
+        source keeps compressing locally and ships the pending bucket delta
+        once the link recovers.
     """
 
     name: str = "streaming"
@@ -150,6 +163,10 @@ class StreamingEngine(DistributedStagePipeline):
         seed: SeedLike = None,
         name: Optional[str] = None,
         jobs: Optional[int] = None,
+        network: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retries: Optional[int] = None,
+        network_seed: Optional[int] = None,
     ) -> None:
         # Deliberately does not call the distributed pipeline's __init__:
         # streaming merges summaries single-source-style, so epsilon is not
@@ -168,6 +185,10 @@ class StreamingEngine(DistributedStagePipeline):
             server_max_iterations, "server_max_iterations"
         )
         self.jobs = resolve_jobs(jobs)
+        self.network_condition = resolve_condition(network).with_overrides(
+            retries=retries, seed=network_seed
+        )
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -223,7 +244,9 @@ class StreamingEngine(DistributedStagePipeline):
         for stage in stages:
             stage.handshake(ctx)
 
-        network = SimulatedNetwork()
+        network = SimulatedNetwork(
+            condition=self.network_condition, fault_plan=self.fault_plan
+        )
         server = StreamingServer(
             k=self.k,
             n_init=self.server_n_init,
@@ -292,6 +315,17 @@ class StreamingEngine(DistributedStagePipeline):
         """Drive the batch-step loop; returns the number of steps taken."""
         t = 0
         while not all(exhausted):
+            # Stream time is the fault plan's round clock: dropouts and
+            # flaky windows are evaluated against the batch step.
+            network.advance_round(to_round=t)
+            for i, source in enumerate(sources):
+                if not exhausted[i] and self.fault_plan.is_permanently_down(
+                    source.source_id, t
+                ):
+                    # The node died: it stops ingesting; its last shipped
+                    # summary stays at the server (stale but valid data).
+                    network.mark_failed(source.source_id)
+                    exhausted[i] = True
             # Gather this step's arrivals first: the loop must end *before*
             # stream time advances past the last real batch step, otherwise
             # sliding-window expiry would run one tick beyond the stream and
@@ -321,8 +355,12 @@ class StreamingEngine(DistributedStagePipeline):
                 if batch is None:
                     # Sliding window: an ended stream still ages while others
                     # ingest — its out-of-window buckets must leave the
-                    # server view (and the query cost) in lockstep.
-                    if self.window is not None:
+                    # server view (and the query cost) in lockstep.  A failed
+                    # source cannot retire anything: its last summary stays
+                    # at the server as-is.
+                    if self.window is not None and not network.is_failed(
+                        source.source_id
+                    ):
                         server.fold(source.advance(t))
                     continue
                 scalars_before = network.uplink_scalars()
@@ -400,6 +438,7 @@ class StreamingEngine(DistributedStagePipeline):
             quantizer_bits = next(
                 (s.quantizer_bits for s in sources if s.quantizer_bits is not None), None
             )
+        failed = sum(1 for s in sources if network.is_failed(s.source_id))
         report = StreamingReport(
             algorithm=self.name,
             centers=final.centers,
@@ -413,10 +452,17 @@ class StreamingEngine(DistributedStagePipeline):
             summary_cardinality=final.summary_cardinality,
             summary_dimension=final.summary_dimension,
             quantizer_bits=quantizer_bits,
+            participating_sources=len(sources) - failed,
+            failed_sources=failed,
+            retransmissions=network.retransmissions(),
+            messages_lost=network.lost_messages(),
+            simulated_network_seconds=network.simulated_seconds(),
+            tag_scalars=network.log.scalars_by_tag(),
             queries=queries,
         )
         return report.with_detail(
             num_sources=len(sources),
+            delivery_failures=sum(s.delivery_failures for s in sources),
             num_batch_steps=num_steps,
             num_batches=sum(s.batches_ingested for s in sources),
             num_queries=len(queries),

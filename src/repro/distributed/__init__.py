@@ -10,8 +10,20 @@ This package is the substrate for the multi-source setting of Section 5:
 * :class:`DistributedPCA` (disPCA), :class:`DistributedSensitivitySampler`
   (disSS), and :class:`BKLWCoreset` (disPCA + disSS) — the distributed
   baseline algorithms from references [35], [4], and [27].
+* :class:`NetworkCondition`, :class:`LinkModel`, :class:`FaultPlan`,
+  :data:`NETWORK_PRESETS` — unreliable-edge simulation: lossy and
+  heterogeneous links, scripted dropout/flaky/straggler faults, and
+  retry-with-budget delivery (:class:`DeliveryError` on exhaustion).
 """
 
+from repro.distributed.conditions import (
+    NETWORK_PRESETS,
+    DeliveryError,
+    FaultPlan,
+    LinkModel,
+    NetworkCondition,
+    resolve_condition,
+)
 from repro.distributed.network import Message, SimulatedNetwork, TransmissionLog
 from repro.distributed.node import DataSourceNode
 from repro.distributed.server import EdgeServer
@@ -25,6 +37,12 @@ __all__ = [
     "Message",
     "SimulatedNetwork",
     "TransmissionLog",
+    "NetworkCondition",
+    "LinkModel",
+    "FaultPlan",
+    "DeliveryError",
+    "NETWORK_PRESETS",
+    "resolve_condition",
     "DataSourceNode",
     "EdgeServer",
     "EdgeCluster",

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.distributed.conditions import ConditionLike, FaultPlan
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.node import DataSourceNode
 from repro.distributed.partition import partition_dataset
@@ -42,12 +43,22 @@ class EdgeCluster:
         k: int,
         seed: SeedLike = None,
         server_n_init: int = 5,
+        condition: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        network_seed: Optional[int] = None,
     ) -> "EdgeCluster":
-        """Build a cluster from explicit per-source shards."""
+        """Build a cluster from explicit per-source shards.
+
+        ``condition`` / ``fault_plan`` / ``network_seed`` configure the
+        simulated network's unreliable-edge behaviour; the defaults are the
+        ideal loss-free wire.
+        """
         if not shards:
             raise ValueError("at least one shard is required")
         rng = as_generator(seed)
-        network = SimulatedNetwork()
+        network = SimulatedNetwork(
+            condition=condition, fault_plan=fault_plan, seed=network_seed
+        )
         source_rngs = spawn_generators(rng, len(shards) + 1)
         sources = [
             DataSourceNode(f"source-{i}", shard, network, seed=source_rngs[i])
@@ -67,6 +78,9 @@ class EdgeCluster:
         strategy: str = "random",
         seed: SeedLike = None,
         server_n_init: int = 5,
+        condition: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        network_seed: Optional[int] = None,
     ) -> "EdgeCluster":
         """Partition ``points`` across ``num_sources`` and build the cluster."""
         points = check_matrix(points, "points")
@@ -74,7 +88,18 @@ class EdgeCluster:
         rng = as_generator(seed)
         indices = partition_dataset(points, num_sources, strategy=strategy, seed=rng)
         shards = [points[idx] for idx in indices]
-        return cls.from_shards(shards, k=k, seed=rng, server_n_init=server_n_init)
+        return cls.from_shards(
+            shards, k=k, seed=rng, server_n_init=server_n_init,
+            condition=condition, fault_plan=fault_plan, network_seed=network_seed,
+        )
+
+    # --------------------------------------------------------- participation
+    @property
+    def failed_source_ids(self) -> List[str]:
+        """Sorted ids of sources excluded from the run so far."""
+        return sorted(
+            s.node_id for s in self.sources if self.network.is_failed(s.node_id)
+        )
 
     # ------------------------------------------------------------ properties
     @property

@@ -22,6 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.distributed.conditions import DeliveryError
 from repro.distributed.node import DataSourceNode
 from repro.distributed.server import EdgeServer
 from repro.dr.pca import pca_target_dimension
@@ -79,34 +80,64 @@ class DistributedPCA:
 
     def run(self, sources: Sequence[DataSourceNode], server: EdgeServer) -> DisPCAResult:
         """Execute the protocol; each source's local shard is replaced by its
-        projection onto the global principal subspace."""
+        projection onto the global principal subspace.
+
+        Fault tolerance: sources that are down (per the network's fault
+        plan) or exhaust their retry budget are excluded from the round —
+        the global SVD stacks only the sketches that arrived, and sources
+        that miss the basis broadcast are marked failed (their shards would
+        be geometrically inconsistent with the projected survivors).  At
+        least one source must complete each phase.
+        """
         if not sources:
             raise ValueError("disPCA requires at least one data source")
-        d = sources[0].dimension
-        min_local_n = min(s.cardinality for s in sources)
+        network = server.network
+        active = network.participating(sources)
+        if not active:
+            raise RuntimeError("disPCA: every data source is down")
+        d = active[0].dimension
+        min_local_n = min(s.cardinality for s in active)
         rank = self.resolved_rank(d, min_local_n)
 
-        before = server.network.uplink_scalars()
+        before = network.uplink_scalars()
 
         # Step 1: local SVDs (parallel per-source compute), then transmit to
         # the server serially in source order so metering is deterministic.
-        local_svds = parallel_map(lambda source: source.local_svd(rank), sources, self.jobs)
+        local_svds = parallel_map(lambda source: source.local_svd(rank), active, self.jobs)
         sketches: List[np.ndarray] = []
-        for source, (singular_values, basis) in zip(sources, local_svds):
+        survivors: List[DataSourceNode] = []
+        for source, (singular_values, basis) in zip(active, local_svds):
             payload = {"singular_values": singular_values, "basis": basis}
-            source.send_to_server(payload, tag="dispca-local-svd")
+            try:
+                source.send_to_server(payload, tag="dispca-local-svd")
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
             sketches.append((singular_values[:, None] * basis.T))  # Σ_t V_t^T
+            survivors.append(source)
+        network.advance_round()
+        if not sketches:
+            raise RuntimeError("disPCA: no local SVD sketch reached the server")
 
-        # Step 2: global SVD of the stacked sketches.
+        # Step 2: global SVD of the stacked sketches (survivors only).
         stacked = np.vstack(sketches)
         global_basis = server.global_svd(stacked, rank)
 
         # Step 3: broadcast the basis (downlink; not counted in the paper's
         # source-side communication metric but still logged, hence serial)
         # and project the local shards (parallel: node-local compute).
-        for source in sources:
-            server.send_to_source(source.node_id, global_basis, tag="dispca-basis")
-        parallel_map(lambda source: source.project_onto(global_basis), sources, self.jobs)
+        receivers: List[DataSourceNode] = []
+        for source in network.participating(survivors):
+            try:
+                server.send_to_source(source.node_id, global_basis, tag="dispca-basis")
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
+            receivers.append(source)
+        network.advance_round()
+        if not receivers:
+            raise RuntimeError("disPCA: no source received the global basis")
+        parallel_map(lambda source: source.project_onto(global_basis), receivers, self.jobs)
 
-        transmitted = server.network.uplink_scalars() - before
+        transmitted = network.uplink_scalars() - before
         return DisPCAResult(basis=global_basis, rank=rank, transmitted_scalars=transmitted)

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cr.coreset import Coreset
+from repro.distributed.conditions import DeliveryError
 from repro.distributed.node import DataSourceNode
 from repro.distributed.server import EdgeServer
 from repro.quantization.rounding import RoundingQuantizer
@@ -117,11 +118,22 @@ class DistributedSensitivitySampler:
         self.jobs = jobs
 
     def run(self, sources: Sequence[DataSourceNode], server: EdgeServer) -> DisSSResult:
-        """Execute the protocol and leave the merged coreset at the server."""
+        """Execute the protocol and leave the merged coreset at the server.
+
+        Fault tolerance: a source that is down or exhausts its retry budget
+        at any of the three communication phases is excluded from the rest
+        of the round — the sample budget is re-based on the costs that
+        arrived, and the merged coreset unions only the sample sets that
+        reached the server.  At least one source must complete.
+        """
         if not sources:
             raise ValueError("disSS requires at least one data source")
+        network = server.network
+        active = network.participating(sources)
+        if not active:
+            raise RuntimeError("disSS: every data source is down")
 
-        before = server.network.uplink_scalars()
+        before = network.uplink_scalars()
 
         # Step 1: local bicriteria solutions (parallel compute — each node
         # draws from its own generator); costs reported serially in source
@@ -132,18 +144,40 @@ class DistributedSensitivitySampler:
                 rounds=self.bicriteria_rounds,
                 batch_factor=self.bicriteria_batch_factor,
             ),
-            sources,
+            active,
             self.jobs,
         )
         local_costs: List[float] = []
-        for source, bicriteria in zip(sources, bicriterias):
-            source.send_to_server(float(bicriteria.cost), tag="disss-local-cost")
+        reporters: List[tuple] = []
+        for source, bicriteria in zip(active, bicriterias):
+            try:
+                source.send_to_server(float(bicriteria.cost), tag="disss-local-cost")
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
             local_costs.append(float(bicriteria.cost))
+            reporters.append((source, bicriteria))
+        network.advance_round()
+        if not reporters:
+            raise RuntimeError("disSS: no local cost report reached the server")
 
-        # Step 2: allocate the sample budget proportionally to cost.
+        # Step 2: allocate the sample budget proportionally to cost (over the
+        # costs that arrived), and deliver each share.
         sizes = server.allocate_sample_sizes(local_costs, self.total_samples)
-        for source, size in zip(sources, sizes):
-            server.send_to_source(source.node_id, int(size), tag="disss-sample-size")
+        samplers: List[tuple] = []
+        for (source, bicriteria), size in zip(reporters, sizes):
+            if network.node_is_down(source.node_id):
+                network.mark_failed(source.node_id)
+                continue
+            try:
+                server.send_to_source(source.node_id, int(size), tag="disss-sample-size")
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
+            samplers.append((source, bicriteria, int(size)))
+        network.advance_round()
+        if not samplers:
+            raise RuntimeError("disSS: no source received a sample allocation")
 
         # Step 3: local sampling (parallel compute), then transmit samples ∪
         # bicriteria centers with weights (optionally quantized) serially.
@@ -158,20 +192,25 @@ class DistributedSensitivitySampler:
                 sampled_points = source.quantize(sampled_points, self.quantizer)
             return sampled_points, weights
 
-        samples = parallel_map(
-            _sample, list(zip(sources, bicriterias, sizes)), self.jobs
-        )
-        for source, (sampled_points, weights) in zip(sources, samples):
-            source.send_to_server(
-                sampled_points, tag="disss-samples", significant_bits=significant_bits
-            )
-            source.send_to_server(weights, tag="disss-weights")
+        samples = parallel_map(_sample, samplers, self.jobs)
+        delivered_sizes: List[int] = []
+        for (source, _, size), (sampled_points, weights) in zip(samplers, samples):
+            try:
+                source.send_to_server(
+                    sampled_points, tag="disss-samples", significant_bits=significant_bits
+                )
+                source.send_to_server(weights, tag="disss-weights")
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
             server.receive_coreset(Coreset(sampled_points, weights, shift=0.0))
+            delivered_sizes.append(size)
+        network.advance_round()
 
         merged = server.merged_coreset()
-        transmitted = server.network.uplink_scalars() - before
+        transmitted = network.uplink_scalars() - before
         return DisSSResult(
             coreset=merged,
-            per_source_sizes=np.asarray(sizes, dtype=int),
+            per_source_sizes=np.asarray(delivered_sizes, dtype=int),
             transmitted_scalars=transmitted,
         )

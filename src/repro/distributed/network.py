@@ -6,16 +6,37 @@ sends to the server" (Section 3.4), refined to bits once quantization enters
 chokepoint through which all uplink (source → server) and downlink
 (server → source) traffic must pass, so the metering cannot be bypassed and
 per-algorithm communication numbers are directly comparable.
+
+Beyond the ideal wire, the network can simulate unreliable edge links: a
+:class:`~repro.distributed.conditions.NetworkCondition` gives every link a
+Bernoulli loss probability, latency, and bandwidth (feeding the simulated
+clock), and a :class:`~repro.distributed.conditions.FaultPlan` scripts node
+dropout, flaky windows, and stragglers.  Every transmission *attempt* —
+including lost ones and retries — is metered: bits spent on a dead link are
+still bits spent.  Loss draws come from per-link generators derived via
+:func:`repro.utils.random.generator_for_name`, never from global numpy state
+and never from the pipeline's master generator, so under the ``ideal``
+condition every pipeline is bit-identical to the loss-free implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.distributed.conditions import (
+    SERVER_ID,
+    ConditionLike,
+    DeliveryError,
+    FaultPlan,
+    LinkModel,
+    NetworkCondition,
+    resolve_condition,
+)
 from repro.quantization.bits import DOUBLE_PRECISION_BITS, bits_per_scalar
+from repro.utils.random import generator_for_name
 
 
 def _count_scalars(payload) -> int:
@@ -58,6 +79,15 @@ class Message:
         Number of scalar values in the payload.
     bits_per_value:
         Precision of each transmitted scalar (64 unless quantized).
+    delivered:
+        False when the simulated link dropped this attempt (the bits were
+        still spent on the wire and count toward the totals).
+    attempt:
+        0 for the first transmission of a payload, ``i`` for its ``i``-th
+        retransmission.
+    simulated_seconds:
+        Time this attempt occupied its link on the simulated clock
+        (``latency + bits / bandwidth``, times any straggler factor).
     """
 
     sender: str
@@ -65,6 +95,9 @@ class Message:
     tag: str
     scalars: int
     bits_per_value: int = DOUBLE_PRECISION_BITS
+    delivered: bool = True
+    attempt: int = 0
+    simulated_seconds: float = 0.0
 
     @property
     def bits(self) -> int:
@@ -104,6 +137,48 @@ class TransmissionLog:
             out[m.sender] = out.get(m.sender, 0) + m.scalars
         return out
 
+    # ------------------------------------------------- reliability queries
+    def delivered_scalars(self, uplink_only: bool = True) -> int:
+        """Scalars that actually arrived (excludes lost attempts)."""
+        return sum(
+            m.scalars
+            for m in self.messages
+            if m.delivered and (m.uplink or not uplink_only)
+        )
+
+    def delivered_bits(self, uplink_only: bool = True) -> int:
+        return sum(
+            m.bits
+            for m in self.messages
+            if m.delivered and (m.uplink or not uplink_only)
+        )
+
+    def lost_messages(self) -> int:
+        """Number of transmission attempts the simulated links dropped."""
+        return sum(1 for m in self.messages if not m.delivered)
+
+    def retransmissions(self) -> int:
+        """Number of retry attempts (messages beyond each payload's first)."""
+        return sum(1 for m in self.messages if m.attempt > 0)
+
+    # --------------------------------------------------- simulated clock
+    def simulated_seconds_by_sender(self) -> Dict[str, float]:
+        """Simulated link time spent per sending node (all attempts)."""
+        out: Dict[str, float] = {}
+        for m in self.messages:
+            out[m.sender] = out.get(m.sender, 0.0) + m.simulated_seconds
+        return out
+
+    def simulated_wall_seconds(self) -> float:
+        """Simulated wall-clock time of the whole transmission schedule.
+
+        Each node serialises its own messages on its own link, and links run
+        in parallel, so the wall time is the per-sender maximum — the
+        network-time analogue of the paper's max-per-source compute metric.
+        """
+        per_sender = self.simulated_seconds_by_sender()
+        return max(per_sender.values(), default=0.0)
+
     def __len__(self) -> int:
         return len(self.messages)
 
@@ -115,10 +190,95 @@ class SimulatedNetwork:
     message and returns the payload unchanged (the "wire" is the python call
     stack).  Quantized payloads declare their reduced ``significant_bits`` so
     the bit accounting matches what a real deployment would send.
+
+    Parameters
+    ----------
+    condition:
+        A :class:`~repro.distributed.conditions.NetworkCondition`, a preset
+        name (``"ideal"``, ``"lossy"``, ``"edge-wan"``), or ``None`` for the
+        ideal wire.  Under a non-ideal condition :meth:`send` may need
+        several metered attempts per payload and raises
+        :class:`~repro.distributed.conditions.DeliveryError` when the retry
+        budget runs out.
+    fault_plan:
+        Optional scripted node failures (dropout / flaky / stragglers),
+        evaluated against :attr:`round` — protocol drivers advance the round
+        counter as their phases progress.
+    seed:
+        Override for the condition's loss/jitter seed (the CLI forwards the
+        experiment seed so degraded runs are reproducible end to end).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        condition: ConditionLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.condition = resolve_condition(condition)
+        if seed is not None:
+            self.condition = self.condition.with_overrides(seed=seed)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.log = TransmissionLog()
+        #: Current protocol round, consulted by the fault plan.
+        self.round = 0
+        #: Nodes permanently excluded from the rest of the run (dropped out,
+        #: or protocol-level give-up after a delivery failure).
+        self.failed_nodes: Set[str] = set()
+        self._links: Dict[str, LinkModel] = {}
+        self._loss_rngs: Dict[str, np.random.Generator] = {}
+
+    # ----------------------------------------------------------- fault state
+    def advance_round(self, to_round: Optional[int] = None) -> int:
+        """Advance the protocol round the fault plan is evaluated against."""
+        self.round = self.round + 1 if to_round is None else int(to_round)
+        return self.round
+
+    def mark_failed(self, node_id: str) -> None:
+        """Permanently exclude a node from the rest of the run."""
+        self.failed_nodes.add(str(node_id))
+
+    def is_failed(self, node_id: str) -> bool:
+        return node_id in self.failed_nodes
+
+    def node_is_down(self, node_id: str) -> bool:
+        """True when the node cannot transmit or receive right now."""
+        return node_id in self.failed_nodes or self.fault_plan.is_down(
+            node_id, self.round
+        )
+
+    def participating(self, nodes):
+        """Filter nodes (objects with ``.node_id``) to those still up.
+
+        One-shot protocol drivers call this at the start of every phase: a
+        node that is down when a phase needs it cannot contribute to this
+        run any more, so it is marked failed (permanently for the run) and
+        dropped from the returned list.
+        """
+        active = []
+        for node in nodes:
+            if self.node_is_down(node.node_id):
+                self.mark_failed(node.node_id)
+            else:
+                active.append(node)
+        return active
+
+    def _link_for(self, node_id: str) -> LinkModel:
+        link = self._links.get(node_id)
+        if link is None:
+            link = self.condition.link_for(node_id)
+            self._links[node_id] = link
+        return link
+
+    def _loss_rng(self, node_id: str) -> np.random.Generator:
+        rng = self._loss_rngs.get(node_id)
+        if rng is None:
+            # Derived from (condition seed, link name) — independent of both
+            # global numpy state and the pipeline's master generator, and of
+            # every other link's draw sequence (jobs=1 ≡ jobs=N).
+            rng = generator_for_name(int(self.condition.seed), f"loss:{node_id}")
+            self._loss_rngs[node_id] = rng
+        return rng
 
     def send(
         self,
@@ -128,6 +288,7 @@ class SimulatedNetwork:
         tag: str = "data",
         significant_bits: Optional[int] = None,
         scalars: Optional[int] = None,
+        retries: Optional[int] = None,
     ):
         """Transmit ``payload`` and record the cost.
 
@@ -136,7 +297,7 @@ class SimulatedNetwork:
         sender, receiver:
             Node identifiers.
         payload:
-            The transmitted object (returned unchanged).
+            The transmitted object (returned unchanged on delivery).
         tag:
             Label for the accounting breakdown.
         significant_bits:
@@ -145,26 +306,79 @@ class SimulatedNetwork:
         scalars:
             Override the scalar count (used when the logical payload differs
             from the python object, e.g. symbolic seed exchange counted as 0).
+        retries:
+            Per-call override of the condition's retransmission budget.
+
+        Raises
+        ------
+        DeliveryError
+            When the source-side endpoint is down per the fault plan (or was
+            marked failed), or when every attempt within the retry budget
+            was lost.  Lost attempts are metered; a down endpoint transmits
+            nothing.
         """
+        # The source-side endpoint owns the link (the server sits behind
+        # every link's other end).
+        endpoint = receiver if sender == SERVER_ID else sender
+        if self.node_is_down(endpoint):
+            raise DeliveryError(sender, receiver, tag, f"{endpoint} is down")
+
         count = _count_scalars(payload) if scalars is None else int(scalars)
-        message = Message(
-            sender=sender,
-            receiver=receiver,
-            tag=tag,
-            scalars=count,
-            bits_per_value=bits_per_scalar(significant_bits),
+        bits_per_value = bits_per_scalar(significant_bits)
+        link = self._link_for(endpoint)
+        seconds = link.transmission_seconds(
+            count * bits_per_value
+        ) * self.fault_plan.delay_factor(endpoint)
+        budget = self.condition.retries if retries is None else int(retries)
+
+        for attempt in range(budget + 1):
+            lost = link.loss > 0.0 and bool(
+                self._loss_rng(endpoint).random() < link.loss
+            )
+            self.log.record(
+                Message(
+                    sender=sender,
+                    receiver=receiver,
+                    tag=tag,
+                    scalars=count,
+                    bits_per_value=bits_per_value,
+                    delivered=not lost,
+                    attempt=attempt,
+                    simulated_seconds=seconds,
+                )
+            )
+            if not lost:
+                return payload
+        raise DeliveryError(
+            sender, receiver, tag,
+            f"lost after {budget + 1} attempts (loss={link.loss:g})",
         )
-        self.log.record(message)
-        return payload
 
     # Convenience wrappers ---------------------------------------------------
     def uplink_scalars(self) -> int:
-        """Total scalars sent from data sources to the server."""
+        """Total scalars sent from data sources to the server (all attempts —
+        bits spent on lost messages and retries are still bits spent)."""
         return self.log.total_scalars(uplink_only=True)
 
     def uplink_bits(self) -> int:
         """Total bits sent from data sources to the server."""
         return self.log.total_bits(uplink_only=True)
 
+    def retransmissions(self) -> int:
+        """Retry attempts recorded so far (0 on an ideal network)."""
+        return self.log.retransmissions()
+
+    def lost_messages(self) -> int:
+        """Transmission attempts dropped by the simulated links."""
+        return self.log.lost_messages()
+
+    def simulated_seconds(self) -> float:
+        """Simulated transmission wall-time (max over per-link serial time)."""
+        return self.log.simulated_wall_seconds()
+
     def reset(self) -> None:
         self.log = TransmissionLog()
+        self.round = 0
+        self.failed_nodes = set()
+        self._links = {}
+        self._loss_rngs = {}

@@ -73,8 +73,22 @@ def partition_dataset(
         proportions = raw / raw.sum()
         order = rng.permutation(n)
         sizes = np.maximum(1, np.floor(proportions * n).astype(int))
-        # Adjust the largest bucket so sizes sum exactly to n.
-        sizes[-1] += n - sizes.sum()
+        # Bring the total to exactly n while keeping every source non-empty.
+        # The remainder can be negative when many tiny shares were bumped up
+        # to 1 (e.g. n close to num_sources with strong skew): absorbing it
+        # all into the last bucket — the historical behaviour — could leave
+        # that bucket empty or negative, so the deficit is drained from the
+        # largest buckets instead, never below one point.
+        diff = int(n - sizes.sum())
+        if diff >= 0:
+            sizes[-1] += diff
+        else:
+            for i in range(num_sources - 1, -1, -1):
+                if diff == 0:
+                    break
+                take = min(int(sizes[i]) - 1, -diff)
+                sizes[i] -= take
+                diff += take
         chunks = []
         start = 0
         for size in sizes:

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cr.coreset import Coreset, merge_coresets
+from repro.distributed.conditions import DeliveryError
 from repro.distributed.network import SimulatedNetwork
 from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
 from repro.utils.linalg import safe_svd
@@ -51,6 +52,11 @@ class EdgeServer:
         self.rng = as_generator(seed)
         #: Wall-clock seconds spent in server-side computation.
         self.compute_seconds = 0.0
+        #: Per-server override of the network condition's retransmission
+        #: budget for downlink messages (``None`` defers to the condition).
+        self.retry_budget: Optional[int] = None
+        #: Downlink payloads the server failed to deliver within the budget.
+        self.delivery_failures = 0
         self._received_coresets: list[Coreset] = []
 
     # -------------------------------------------------------------- helpers
@@ -60,11 +66,25 @@ class EdgeServer:
         self.compute_seconds += time.perf_counter() - start
         return result
 
-    def send_to_source(self, node_id: str, payload, tag: str, scalars: Optional[int] = None):
-        """Downlink transmission (e.g. disSS sample-size allocation)."""
-        return self.network.send(
-            sender="server", receiver=node_id, payload=payload, tag=tag, scalars=scalars
-        )
+    def send_to_source(self, node_id: str, payload, tag: str,
+                       scalars: Optional[int] = None, retries: Optional[int] = None):
+        """Downlink transmission (e.g. disSS sample-size allocation).
+
+        Same retry-with-budget semantics as the uplink: attempts up to the
+        budget, every attempt metered, :class:`DeliveryError` — and a
+        delivery-failure count — when the source stays unreachable (the
+        protocol driver then excludes it from the round).
+        """
+        if retries is None:
+            retries = self.retry_budget
+        try:
+            return self.network.send(
+                sender="server", receiver=node_id, payload=payload, tag=tag,
+                scalars=scalars, retries=retries,
+            )
+        except DeliveryError:
+            self.delivery_failures += 1
+            raise
 
     # ------------------------------------------------------------------ API
     def receive_coreset(self, coreset: Coreset) -> None:

@@ -22,6 +22,7 @@ from repro.metrics.experiment import (
     AlgorithmSummary,
     empirical_cdf,
 )
+from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
 
 __all__ = [
     "EvaluationContext",
@@ -31,4 +32,6 @@ __all__ = [
     "ExperimentResult",
     "AlgorithmSummary",
     "empirical_cdf",
+    "GOLDEN_CONFIG",
+    "communication_profile",
 ]

@@ -79,6 +79,11 @@ class PipelineEvaluation:
     summary_cardinality: int
     summary_dimension: int
     quantizer_bits: Optional[int] = None
+    participating_sources: int = 1
+    failed_sources: int = 0
+    retransmissions: int = 0
+    messages_lost: int = 0
+    simulated_network_seconds: float = 0.0
 
 
 def evaluate_report(report: PipelineReport, context: EvaluationContext) -> PipelineEvaluation:
@@ -99,4 +104,9 @@ def evaluate_report(report: PipelineReport, context: EvaluationContext) -> Pipel
         summary_cardinality=report.summary_cardinality,
         summary_dimension=report.summary_dimension,
         quantizer_bits=report.quantizer_bits,
+        participating_sources=report.participating_sources,
+        failed_sources=report.failed_sources,
+        retransmissions=report.retransmissions,
+        messages_lost=report.messages_lost,
+        simulated_network_seconds=report.simulated_network_seconds,
     )

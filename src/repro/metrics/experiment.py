@@ -40,6 +40,13 @@ class AlgorithmSummary:
     mean_normalized_communication: float
     mean_source_seconds: float
     runs: int
+    #: Mean sources contributing to the fold (== the deployment size on
+    #: healthy runs; smaller under simulated link loss or dropout).
+    mean_participating_sources: float = 1.0
+    total_failed_sources: int = 0
+    total_retransmissions: int = 0
+    total_messages_lost: int = 0
+    mean_simulated_network_seconds: float = 0.0
 
     @classmethod
     def from_evaluations(cls, evaluations: Sequence[PipelineEvaluation]) -> "AlgorithmSummary":
@@ -55,6 +62,15 @@ class AlgorithmSummary:
             mean_normalized_communication=float(comms.mean()),
             mean_source_seconds=float(times.mean()),
             runs=len(evaluations),
+            mean_participating_sources=float(
+                np.mean([e.participating_sources for e in evaluations])
+            ),
+            total_failed_sources=int(sum(e.failed_sources for e in evaluations)),
+            total_retransmissions=int(sum(e.retransmissions for e in evaluations)),
+            total_messages_lost=int(sum(e.messages_lost for e in evaluations)),
+            mean_simulated_network_seconds=float(
+                np.mean([e.simulated_network_seconds for e in evaluations])
+            ),
         )
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cr.coreset import Coreset
 from repro.distributed.bklw import BKLWCoreset
 from repro.distributed.cluster import EdgeCluster
+from repro.distributed.conditions import DeliveryError
 from repro.dr.jl import JLProjection, jl_target_dimension
 from repro.stages.base import StageContext
 from repro.stages.sizing import default_distributed_samples, default_pca_rank
@@ -132,7 +133,14 @@ class SharedJLStage(DistributedStage):
         projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
         # Pure local compute (the projection matrix is pre-shared and every
         # node owns its shard), so the per-source loop parallelises freely.
-        parallel_map(lambda source: source.apply_jl(projection), cluster.sources, ctx.jobs)
+        # Sources already down skip the projection and are excluded for the
+        # run: letting one recover later with an unprojected shard would mix
+        # geometries in the fold.
+        parallel_map(
+            lambda source: source.apply_jl(projection),
+            cluster.network.participating(cluster.sources),
+            ctx.jobs,
+        )
 
         def lift(centers):
             server_projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
@@ -196,29 +204,47 @@ class BKLWStage(DistributedStage):
 
 class RawGatherStage(DistributedStage):
     """Every source ships its raw (optionally quantized) shard to the server
-    — the distributed NR baseline."""
+    — the distributed NR baseline.
+
+    Fault tolerance: shards whose source is down or exhausts its retry
+    budget are excluded from the gathered union (and the source is marked
+    failed for the run); at least one shard must arrive.
+    """
 
     name = "NR"
 
     def apply_to_cluster(
         self, cluster: EdgeCluster, ctx: DistributedStageContext
     ) -> DistributedStageEffect:
+        network = cluster.network
+        active = network.participating(cluster.sources)
+        if not active:
+            raise RuntimeError("NR gather: every data source is down")
         bits = None
         if ctx.quantizer is not None:
             # Compute phase (parallel): quantization is node-local work.
             payloads = parallel_map(
                 lambda source: source.quantize(source.points, ctx.quantizer),
-                cluster.sources,
+                active,
                 ctx.jobs,
             )
             bits = ctx.quantizer.significant_bits
         else:
-            payloads = [source.points for source in cluster.sources]
+            payloads = [source.points for source in active]
         # Transmission phase (serial, source order): metering stays
         # deterministic whatever the compute interleaving was.
-        for source, payload in zip(cluster.sources, payloads):
-            source.send_to_server(payload, tag="raw-data", significant_bits=bits)
+        received = 0
+        for source, payload in zip(active, payloads):
+            try:
+                source.send_to_server(payload, tag="raw-data", significant_bits=bits)
+            except DeliveryError:
+                network.mark_failed(source.node_id)
+                continue
             cluster.server.receive_coreset(
                 Coreset(payload, np.ones(payload.shape[0]), shift=0.0)
             )
+            received += 1
+        network.advance_round()
+        if not received:
+            raise RuntimeError("NR gather: no shard reached the server")
         return DistributedStageEffect(coreset=cluster.server.merged_coreset())

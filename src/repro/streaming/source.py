@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cr.coreset import Coreset
+from repro.distributed.conditions import DeliveryError
 from repro.distributed.network import SimulatedNetwork
 from repro.stages.base import CenterLift, SourceState, Stage, StageContext
 from repro.streaming.tree import Bucket, CoresetTree
@@ -94,6 +95,9 @@ class StreamingSource:
         self.batches_ingested = 0
         self.lifts: Optional[List[CenterLift]] = None
         self.quantizer_bits: Optional[int] = None
+        #: Ingest steps whose bucket delta could not be fully delivered
+        #: (the pending part ships on the next successful flush).
+        self.delivery_failures = 0
         self._shipped: set = set()
         self._pending_quantizer = None
 
@@ -165,27 +169,41 @@ class StreamingSource:
         return Coreset(state.points, state.weights, state.shift)
 
     def _transmit_delta(self, batch_index: int, quantizer) -> SourceUpdate:
-        """Ship exactly the difference between server view and live buckets."""
+        """Ship exactly the difference between server view and live buckets.
+
+        Delivery failures are tolerated per bucket: a bucket joins the
+        server update (and :attr:`_shipped`) only when all three of its
+        messages arrive; anything undelivered stays pending and retries on
+        the next flush, so a flaky link catches the server up once it
+        recovers.  Every failed attempt is still metered by the network.
+        """
         live = set(self.tree.live_bucket_ids)
         to_retire = sorted(self._shipped - live)
         to_add = [b for b in self.tree.live_buckets if b.bucket_id not in self._shipped]
 
         update = SourceUpdate(source_id=self.source_id, batch_index=batch_index)
+        link_up = True
         for bucket in to_add:
             wire_coreset, bits = self._encode_bucket(bucket, quantizer)
-            self.network.send(
-                self.source_id, "server", wire_coreset.points,
-                tag="stream-points", significant_bits=bits,
-            )
-            self.network.send(
-                self.source_id, "server", wire_coreset.weights, tag="stream-weights"
-            )
-            header = [
-                float(bucket.bucket_id), float(bucket.level),
-                float(bucket.first_batch), float(bucket.last_batch),
-                float(wire_coreset.shift),
-            ]
-            self.network.send(self.source_id, "server", header, tag="stream-header")
+            try:
+                self.network.send(
+                    self.source_id, "server", wire_coreset.points,
+                    tag="stream-points", significant_bits=bits,
+                )
+                self.network.send(
+                    self.source_id, "server", wire_coreset.weights, tag="stream-weights"
+                )
+                header = [
+                    float(bucket.bucket_id), float(bucket.level),
+                    float(bucket.first_batch), float(bucket.last_batch),
+                    float(wire_coreset.shift),
+                ]
+                self.network.send(self.source_id, "server", header, tag="stream-header")
+            except DeliveryError:
+                self.delivery_failures += 1
+                link_up = False
+                break
+            self._shipped.add(bucket.bucket_id)
             update.added.append(
                 BucketUpdate(
                     bucket_id=bucket.bucket_id,
@@ -195,10 +213,14 @@ class StreamingSource:
                     level=bucket.level,
                 )
             )
-        if to_retire:
-            self.network.send(self.source_id, "server", to_retire, tag="stream-retire")
-            update.retired_ids = to_retire
-        self._shipped = live
+        if to_retire and link_up:
+            try:
+                self.network.send(self.source_id, "server", to_retire, tag="stream-retire")
+            except DeliveryError:
+                self.delivery_failures += 1
+            else:
+                update.retired_ids = to_retire
+                self._shipped -= set(to_retire)
         return update
 
     @staticmethod

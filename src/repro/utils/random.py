@@ -10,6 +10,7 @@ seeds of every JL projection, sampler, and solver it spawns via
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, List, Optional, Union
 
 import numpy as np
@@ -61,6 +62,30 @@ def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
 def derive_seed(rng: np.random.Generator) -> int:
     """Draw a fresh integer seed from ``rng`` (for handing to sub-components)."""
     return int(rng.integers(0, 2**63 - 1))
+
+
+def generator_for_name(seed: SeedLike, name: str) -> np.random.Generator:
+    """Derive a generator keyed by a stable string name.
+
+    Unlike :func:`spawn_generators` the derivation does not depend on how
+    many (or in which order) other generators were derived: the same
+    ``(seed, name)`` pair always yields the same stream.  The network
+    simulation uses this to give every link its own loss/jitter generator —
+    per-link draws are then independent of the transmission schedule, which
+    is what keeps lossy runs identical for ``jobs=1`` and ``jobs=N``.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "generator_for_name needs reusable seed material (None, int or "
+            "SeedSequence), not a Generator: drawing from a shared generator "
+            "would make the derivation order-dependent"
+        )
+    entropy = zlib.crc32(str(name).encode("utf-8"))
+    if isinstance(seed, np.random.SeedSequence):
+        base = list(seed.entropy) if isinstance(seed.entropy, (list, tuple)) else [seed.entropy]
+        return np.random.default_rng(np.random.SeedSequence(base + [entropy]))
+    base_seed = 0 if seed is None else int(seed)
+    return np.random.default_rng(np.random.SeedSequence([base_seed, entropy]))
 
 
 def weighted_indices(

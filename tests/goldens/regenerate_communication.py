@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate the golden communication fixture.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/goldens/regenerate_communication.py
+
+Reruns every registered composition under the ideal network with the fixed
+:data:`repro.metrics.profile.GOLDEN_CONFIG` and rewrites
+``tests/goldens/communication.json``.  Only do this when a communication
+change is *intended* (a new wire format, a new pipeline, a changed default);
+review the JSON diff like code — an unexplained change in a pinned scalar
+count is exactly the regression the fixture exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FIXTURE = Path(__file__).resolve().parent / "communication.json"
+
+
+def main() -> int:
+    from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
+
+    profiles = communication_profile()
+    payload = {
+        "_comment": (
+            "Golden communication fixture: per-pipeline uplink scalars/bits "
+            "and scalars_by_tag under the ideal network.  Regenerate with "
+            "tests/goldens/regenerate_communication.py; never edit by hand."
+        ),
+        "config": GOLDEN_CONFIG,
+        "profiles": profiles,
+    }
+    FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE} ({len(profiles)} pipelines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Golden regression suite for communication accounting.
+
+``tests/goldens/communication.json`` pins the uplink scalars/bits and the
+per-tag scalar tables of **every** registered composition under the ideal
+network (fixed dataset, seeds, and summary sizes — see
+``repro.metrics.profile.GOLDEN_CONFIG``).  Any refactor that perturbs a wire
+format, a sampler draw, a default size, or the metering itself shows up here
+as an exact integer diff.  The fixture was generated from the pre-network-
+refactor implementation, so it also certifies that the unreliable-edge layer
+is a strict no-op under ``ideal`` conditions.
+
+Intentional changes: regenerate with
+``PYTHONPATH=src python tests/goldens/regenerate_communication.py`` and
+review the JSON diff like code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import registry
+from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
+
+FIXTURE = Path(__file__).resolve().parent / "goldens" / "communication.json"
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def current_profiles():
+    return communication_profile()
+
+
+class TestGoldenFixtureShape:
+    def test_fixture_exists_and_has_config(self, fixture):
+        assert fixture["config"] == {k: v for k, v in GOLDEN_CONFIG.items()}
+
+    def test_fixture_covers_every_registered_pipeline(self, fixture):
+        # A newly registered composition must be added to the goldens in the
+        # same PR (regenerate the fixture) — silently unpinned pipelines
+        # would erode the suite.
+        assert sorted(fixture["profiles"]) == registry.registered_names()
+
+    def test_fixture_values_are_integer_exact(self, fixture):
+        for name, profile in fixture["profiles"].items():
+            assert isinstance(profile["uplink_scalars"], int), name
+            assert isinstance(profile["uplink_bits"], int), name
+            assert all(
+                isinstance(v, int) for v in profile["scalars_by_tag"].values()
+            ), name
+
+
+class TestGoldenCommunication:
+    def test_profiles_match_fixture_exactly(self, fixture, current_profiles):
+        mismatches = {}
+        for name, pinned in fixture["profiles"].items():
+            got = current_profiles[name]
+            if got != pinned:
+                mismatches[name] = {"pinned": pinned, "got": got}
+        assert not mismatches, (
+            "communication drifted from the golden fixture (regenerate only "
+            f"if the change is intended): {json.dumps(mismatches, indent=2)}"
+        )
+
+    def test_bits_consistent_with_tags(self, fixture):
+        # Internal consistency of the fixture itself: the uplink scalar
+        # count never exceeds the total per-tag count (tags include the
+        # downlink; uplink is a subset).
+        for name, profile in fixture["profiles"].items():
+            total_tagged = sum(profile["scalars_by_tag"].values())
+            assert profile["uplink_scalars"] <= total_tagged, name

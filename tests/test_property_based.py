@@ -7,6 +7,8 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.cr.coreset import Coreset
+from repro.distributed.network import _count_scalars
+from repro.distributed.partition import partition_dataset
 from repro.dr.jl import JLProjection
 from repro.kmeans.cost import assign_to_centers, kmeans_cost, weighted_kmeans_cost
 from repro.quantization.bits import bits_per_scalar
@@ -146,6 +148,157 @@ class TestJLProperties:
         proj = JLProjection(d, max(1, d // 2), seed=seed)
         scaled = proj.transform(2.5 * m)
         assert np.allclose(scaled, 2.5 * proj.transform(m), rtol=1e-9, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# _count_scalars: payload trees with a known ground-truth scalar count.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def counted_payloads(draw, max_leaves=6):
+    """A (payload, exact scalar count) pair built as a random container tree.
+
+    Leaves are the meterable atoms (None, python/numpy scalars, bools, and
+    small arrays), each carrying its known count; containers (lists, tuples,
+    dicts) combine children additively.
+    """
+    leaf = st.one_of(
+        st.just((None, 0)),
+        st.integers(min_value=-10**6, max_value=10**6).map(lambda v: (v, 1)),
+        finite_floats.map(lambda v: (v, 1)),
+        st.booleans().map(lambda v: (v, 1)),
+        st.booleans().map(lambda v: (np.bool_(v), 1)),
+        finite_floats.map(lambda v: (np.float64(v), 1)),
+        st.integers(min_value=0, max_value=10**6).map(lambda v: (np.int64(v), 1)),
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=1, max_value=3),
+        ).map(lambda shape: (np.zeros(shape), shape[0] * shape[1])),
+    )
+
+    def containers(children):
+        return st.one_of(
+            st.lists(children, max_size=max_leaves).map(
+                lambda kids: ([p for p, _ in kids], sum(c for _, c in kids))
+            ),
+            st.lists(children, max_size=max_leaves).map(
+                lambda kids: (tuple(p for p, _ in kids), sum(c for _, c in kids))
+            ),
+            st.dictionaries(
+                st.text(st.characters(codec="ascii"), max_size=4),
+                children,
+                max_size=max_leaves,
+            ).map(
+                lambda kids: (
+                    {key: p for key, (p, _) in kids.items()},
+                    sum(c for _, c in kids.values()),
+                )
+            ),
+        )
+
+    payload, count = draw(st.recursive(leaf, containers, max_leaves=4 * max_leaves))
+    return payload, count
+
+
+class TestCountScalarsProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(counted_payloads())
+    def test_count_matches_ground_truth(self, payload_and_count):
+        payload, expected = payload_and_count
+        assert _count_scalars(payload) == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(counted_payloads(), counted_payloads())
+    def test_counts_are_additive(self, a, b):
+        payload_a, count_a = a
+        payload_b, count_b = b
+        assert _count_scalars([payload_a, payload_b]) == count_a + count_b
+        assert _count_scalars({"a": payload_a, "b": payload_b}) == count_a + count_b
+
+    @settings(max_examples=80, deadline=None)
+    @given(counted_payloads())
+    def test_none_is_transparent_at_any_position(self, payload_and_count):
+        payload, expected = payload_and_count
+        assert _count_scalars([None, payload, None]) == expected
+        assert _count_scalars({"absent": None, "present": payload}) == expected
+        assert _count_scalars((payload, [None, (None,)])) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        counted_payloads(),
+        st.sampled_from(["a string", b"bytes", object(), {1, 2}, 3 + 4j]),
+    )
+    def test_unmeterable_types_raise_at_any_depth(self, payload_and_count, bad):
+        payload, _ = payload_and_count
+        with pytest.raises(TypeError):
+            _count_scalars(bad)
+        with pytest.raises(TypeError):
+            _count_scalars([payload, bad])
+        with pytest.raises(TypeError):
+            _count_scalars({"ok": payload, "bad": [bad]})
+
+
+# ---------------------------------------------------------------------------
+# partition_dataset: every strategy is an exact partition of the dataset.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def partition_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    num_sources = draw(st.integers(min_value=1, max_value=n))
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    skew = draw(st.floats(min_value=1.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False))
+    points = np.random.default_rng(seed).standard_normal((n, d))
+    return points, num_sources, seed, skew
+
+
+class TestPartitionProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(partition_cases(), st.sampled_from(["random", "skewed-size", "by-cluster"]))
+    def test_every_point_covered_exactly_once(self, case, strategy):
+        points, num_sources, seed, skew = case
+        chunks = partition_dataset(
+            points, num_sources, strategy=strategy, seed=seed, skew=skew
+        )
+        assert len(chunks) == num_sources
+        combined = np.concatenate(chunks)
+        # Exact partition: the chunks' union is 0..n-1 with no repetition.
+        assert np.array_equal(np.sort(combined), np.arange(points.shape[0]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(partition_cases(), st.sampled_from(["random", "skewed-size", "by-cluster"]))
+    def test_every_source_gets_at_least_one_point(self, case, strategy):
+        points, num_sources, seed, skew = case
+        chunks = partition_dataset(
+            points, num_sources, strategy=strategy, seed=seed, skew=skew
+        )
+        assert all(chunk.size >= 1 for chunk in chunks)
+
+    @settings(max_examples=60, deadline=None)
+    @given(partition_cases())
+    def test_random_partition_is_seed_deterministic(self, case):
+        points, num_sources, seed, _ = case
+        a = partition_dataset(points, num_sources, strategy="random", seed=seed)
+        b = partition_dataset(points, num_sources, strategy="random", seed=seed)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(partition_cases())
+    def test_skew_keeps_smallest_source_first(self, case):
+        # Regression for the bug this suite originally caught: strong skew
+        # with n close to num_sources used to dump a negative rounding
+        # remainder onto the last bucket, leaving it empty.
+        points, num_sources, seed, _ = case
+        chunks = partition_dataset(
+            points, num_sources, strategy="skewed-size", seed=seed, skew=8.0
+        )
+        sizes = [c.size for c in chunks]
+        assert sum(sizes) == points.shape[0]
+        assert min(sizes) >= 1
+        # The geometric profile always makes the first source a smallest one.
+        assert sizes[0] == min(sizes)
 
 
 class TestCoresetProperties:
