@@ -88,8 +88,21 @@ from repro.datasets import (
 )
 from repro.streaming import CoresetTree, StreamingServer, StreamingSource
 from repro.metrics import ExperimentRunner, EvaluationContext, evaluate_report
+from repro.api import (
+    PipelineConfig,
+    DataSpec,
+    NetworkSpec,
+    ExperimentSpec,
+    SweepSpec,
+    load_spec,
+    dump_spec,
+    run_experiment,
+    run_sweep,
+    ResultStore,
+    RunRecord,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PipelineReport",
@@ -163,5 +176,16 @@ __all__ = [
     "ExperimentRunner",
     "EvaluationContext",
     "evaluate_report",
+    "PipelineConfig",
+    "DataSpec",
+    "NetworkSpec",
+    "ExperimentSpec",
+    "SweepSpec",
+    "load_spec",
+    "dump_spec",
+    "run_experiment",
+    "run_sweep",
+    "ResultStore",
+    "RunRecord",
     "__version__",
 ]

@@ -1,0 +1,79 @@
+"""Declarative experiment API: typed specs, spec files, sweeps, results.
+
+The public surface for describing and running experiments without writing
+harness code::
+
+    from repro.api import (
+        PipelineConfig, DataSpec, NetworkSpec, ExperimentSpec, SweepSpec,
+        load_spec, dump_spec, run_experiment, run_sweep,
+        ResultStore, RunRecord,
+    )
+
+    spec = ExperimentSpec(
+        pipeline=PipelineConfig(algorithm="jl-fss", k=5, coreset_size=200),
+        data=DataSpec(name="mnist", n=2000, d=100),
+        runs=10,
+        seed=7,
+    )
+    outcome = run_experiment(spec)
+    outcome.summary.mean_normalized_cost
+
+The same spec serializes to TOML/JSON (``dump_spec``) and powers the
+rebuilt CLI: ``repro run spec.toml``, ``repro sweep sweep.toml``,
+``repro report results/sweep.jsonl``.
+"""
+
+from repro.api.runner import ExperimentOutcome, run_experiment, run_sweep
+from repro.api.serialization import dump_spec, dumps_toml, load_spec, spec_from_dict
+from repro.api.specs import (
+    DATASET_NAMES,
+    PARTITION_STRATEGIES,
+    DataSpec,
+    ExperimentSpec,
+    NetworkSpec,
+    PipelineConfig,
+    SweepCell,
+    SweepSpec,
+    apply_axis_overrides,
+    axis_names,
+    parse_dropout,
+)
+from repro.api.store import (
+    DEFAULT_COMPARE_METRICS,
+    ComparisonTable,
+    ResultStore,
+    RunRecord,
+    compare_outcomes,
+    compare_records,
+    provenance,
+    spec_hash,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "DataSpec",
+    "NetworkSpec",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepCell",
+    "PARTITION_STRATEGIES",
+    "DATASET_NAMES",
+    "parse_dropout",
+    "axis_names",
+    "apply_axis_overrides",
+    "compare_outcomes",
+    "compare_records",
+    "load_spec",
+    "dump_spec",
+    "dumps_toml",
+    "spec_from_dict",
+    "run_experiment",
+    "run_sweep",
+    "ExperimentOutcome",
+    "ResultStore",
+    "RunRecord",
+    "ComparisonTable",
+    "spec_hash",
+    "provenance",
+    "DEFAULT_COMPARE_METRICS",
+]

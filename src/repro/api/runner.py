@@ -1,0 +1,174 @@
+"""Execute declarative specs through the existing experiment harness.
+
+``run_experiment`` resolves an :class:`~repro.api.specs.ExperimentSpec`
+into exactly the call the imperative API would make —
+:meth:`repro.metrics.experiment.ExperimentRunner.run_registered` with the
+spec's overrides — so results are bit-identical to hand-written harness
+code (the golden-spec test pins this).  ``run_sweep`` expands a
+:class:`~repro.api.specs.SweepSpec` into its cell grid and executes every
+cell with *paired* Monte-Carlo seeds and one shared reference solution per
+``(dataset, k)`` group, optionally fanning cells out over a thread pool
+and appending each cell's :class:`~repro.api.store.RunRecord` to a
+:class:`~repro.api.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.specs import ExperimentSpec, SweepCell, SweepSpec
+from repro.api.store import ResultStore, RunRecord, provenance
+from repro.metrics.evaluation import EvaluationContext, PipelineEvaluation
+from repro.metrics.experiment import (
+    AlgorithmSummary,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from repro.utils.parallel import parallel_map
+from repro.utils.random import as_generator, derive_seed
+
+
+@dataclass
+class ExperimentOutcome:
+    """Everything one executed cell produced."""
+
+    spec: ExperimentSpec
+    label: str
+    result: ExperimentResult
+    summary: AlgorithmSummary
+    run_seeds: Tuple[int, ...]
+    dataset: Any = None  # the DatasetSpec describing the generated matrix
+    cell_id: Optional[str] = None
+
+    @property
+    def evaluations(self) -> List[PipelineEvaluation]:
+        return list(self.result.evaluations[self.label])
+
+    def to_record(self, stamp: Optional[Dict[str, Any]] = None) -> RunRecord:
+        """Convert to a persistable :class:`RunRecord` (``stamp`` lets a
+        sweep share one provenance dict across cells)."""
+        return RunRecord(
+            algorithm=self.label,
+            spec=self.spec.to_dict(),
+            summary=self.summary.__dict__.copy(),
+            evaluations=tuple(e.to_dict() for e in self.evaluations),
+            run_seeds=self.run_seeds,
+            cell_id=self.cell_id,
+            provenance=provenance() if stamp is None else stamp,
+        )
+
+
+def _reference_seed(master_seed: int) -> int:
+    """The reference-solver seed an ExperimentRunner would derive first
+    from this master seed (kept in lockstep with its constructor)."""
+    return derive_seed(as_generator(master_seed))
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    points: Optional[np.ndarray] = None,
+    dataset: Any = None,
+    context: Optional[EvaluationContext] = None,
+    reference_n_init: int = 10,
+    cell_id: Optional[str] = None,
+) -> ExperimentOutcome:
+    """Run one experiment spec end-to-end.
+
+    ``points``/``dataset``/``context`` let the sweep runner share generated
+    data and reference solutions across cells; results are identical with
+    or without them because the runner's seed stream is independent of
+    whether the reference solve is cached.
+    """
+    if points is None:
+        points, dataset = spec.data.load(spec.seed)
+    runner = ExperimentRunner(
+        points,
+        k=spec.pipeline.k,
+        monte_carlo_runs=spec.runs,
+        seed=spec.seed,
+        reference_n_init=reference_n_init,
+        context=context,
+    )
+    label = spec.pipeline.algorithm
+    result = runner.run_registered(
+        [label],
+        num_sources=spec.num_sources,
+        strategy=spec.strategy,
+        **spec.overrides(),
+    )
+    return ExperimentOutcome(
+        spec=spec,
+        label=label,
+        result=result,
+        summary=result.summary()[label],
+        run_seeds=tuple(runner.run_seeds),
+        dataset=dataset,
+        cell_id=cell_id,
+    )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    reference_n_init: int = 10,
+) -> List[ExperimentOutcome]:
+    """Execute every cell of a sweep grid.
+
+    Datasets and reference solutions are computed once per unique
+    ``(dataset, k, seed)`` group and shared across the group's cells, so
+    cells differing only in tuning knobs are judged against identical
+    reference centers — the paper's paired-comparison methodology.  With
+    ``jobs > 1`` cells run on a thread pool (cells are independent; the
+    heavy work is GIL-releasing BLAS).  When ``store`` is given, every
+    cell's record is appended in grid order after execution.
+    """
+    cells = sweep.cells()
+
+    # Generate each unique dataset once, and solve each unique reference
+    # problem once, serially — the parallel phase then only reads them.
+    points_cache: Dict[Tuple, Tuple[np.ndarray, Any]] = {}
+    context_cache: Dict[Tuple, EvaluationContext] = {}
+    for cell in cells:
+        spec = cell.spec
+        data_key = spec.data.cache_key(spec.seed)
+        if data_key not in points_cache:
+            points_cache[data_key] = spec.data.load(spec.seed)
+        context_key = data_key + (spec.pipeline.k, spec.seed, reference_n_init)
+        if context_key not in context_cache:
+            points, _ = points_cache[data_key]
+            context_cache[context_key] = EvaluationContext.build(
+                points,
+                spec.pipeline.k,
+                n_init=reference_n_init,
+                seed=_reference_seed(spec.seed),
+            )
+
+    def execute(cell: SweepCell) -> ExperimentOutcome:
+        spec = cell.spec
+        data_key = spec.data.cache_key(spec.seed)
+        points, dataset = points_cache[data_key]
+        context = context_cache[data_key + (spec.pipeline.k, spec.seed, reference_n_init)]
+        return run_experiment(
+            spec,
+            points=points,
+            dataset=dataset,
+            context=context,
+            reference_n_init=reference_n_init,
+            cell_id=cell.cell_id,
+        )
+
+    outcomes = parallel_map(execute, cells, jobs=jobs)
+    if store is not None:
+        stamp = provenance()
+        for outcome in outcomes:
+            store.append(outcome.to_record(stamp))
+    return outcomes
+
+
+__all__ = ["ExperimentOutcome", "run_experiment", "run_sweep"]

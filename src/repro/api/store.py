@@ -1,0 +1,326 @@
+"""Persisted experiment results: JSONL run records with provenance.
+
+Every executed cell becomes one :class:`RunRecord` — the spec that produced
+it, a hash of that spec, the per-run Monte-Carlo seeds, the aggregate
+:class:`~repro.metrics.experiment.AlgorithmSummary`, every per-run
+:class:`~repro.metrics.evaluation.PipelineEvaluation`, and git/version
+provenance — appended to a :class:`ResultStore` (one JSON object per line
+under ``results/`` by convention).  Stores reload into records, filter on
+spec fields, and render paper-style comparison tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.metrics.evaluation import PipelineEvaluation
+from repro.metrics.experiment import AlgorithmSummary
+
+#: Record format version, bumped on incompatible layout changes.
+STORE_VERSION = 1
+
+#: Default metrics rendered by :meth:`ResultStore.compare` (aggregate
+#: AlgorithmSummary fields — the paper's three headline columns).
+DEFAULT_COMPARE_METRICS = (
+    "mean_normalized_cost",
+    "mean_normalized_communication",
+    "mean_source_seconds",
+)
+
+
+def spec_hash(spec_dict: Mapping[str, Any]) -> str:
+    """Stable content hash of a spec dict (canonical JSON, sha256)."""
+    canonical = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def provenance() -> Dict[str, Any]:
+    """Version/git provenance stamped on every record."""
+    import platform
+
+    import numpy
+
+    import repro
+
+    return {
+        "repro_version": getattr(repro, "__version__", "unknown"),
+        "numpy_version": numpy.__version__,
+        "python_version": platform.python_version(),
+        "git_commit": _git_commit(),
+    }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted experiment cell."""
+
+    algorithm: str
+    spec: Dict[str, Any]
+    summary: Dict[str, Any]
+    evaluations: Tuple[Dict[str, Any], ...] = ()
+    run_seeds: Tuple[int, ...] = ()
+    cell_id: Optional[str] = None
+    spec_hash: str = ""
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    version: int = STORE_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "evaluations", tuple(dict(e) for e in self.evaluations))
+        object.__setattr__(self, "run_seeds", tuple(int(s) for s in self.run_seeds))
+        if not self.spec_hash:
+            object.__setattr__(self, "spec_hash", spec_hash(self.spec))
+
+    # -------------------------------------------------------------- views
+    def algorithm_summary(self) -> AlgorithmSummary:
+        """Rehydrate the aggregate summary dataclass."""
+        return AlgorithmSummary(**self.summary)
+
+    def pipeline_evaluations(self) -> List[PipelineEvaluation]:
+        """Rehydrate the per-run evaluations."""
+        return [PipelineEvaluation.from_dict(e) for e in self.evaluations]
+
+    def spec_field(self, dotted: str) -> Any:
+        """Look up a spec value by dotted path (``"pipeline.k"``) or by bare
+        field name searched across the spec sections."""
+        node: Any = self.spec
+        if "." in dotted:
+            for part in dotted.split("."):
+                if not isinstance(node, Mapping) or part not in node:
+                    return None
+                node = node[part]
+            return node
+        if dotted in self.spec:
+            return self.spec[dotted]
+        for section in ("pipeline", "data", "network"):
+            table = self.spec.get(section)
+            if isinstance(table, Mapping) and dotted in table:
+                return table[dotted]
+        return None
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "cell_id": self.cell_id,
+            "algorithm": self.algorithm,
+            "spec": self.spec,
+            "spec_hash": self.spec_hash,
+            "run_seeds": list(self.run_seeds),
+            "summary": self.summary,
+            "evaluations": [dict(e) for e in self.evaluations],
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - names)
+        if unknown:
+            raise ValueError(f"unknown RunRecord fields: {unknown}")
+        payload = dict(payload)
+        payload["evaluations"] = tuple(payload.get("evaluations", ()))
+        payload["run_seeds"] = tuple(payload.get("run_seeds", ()))
+        return cls(**payload)
+
+
+class ResultStore:
+    """A JSONL file of :class:`RunRecord` objects (append + load + query)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------- writing
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append one record (creates the file and parents on first write)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return record
+
+    def extend(self, records: Sequence[RunRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------- reading
+    def load(self) -> List[RunRecord]:
+        """All records in append order (empty list for a missing file)."""
+        if not self.path.exists():
+            return []
+        records: List[RunRecord] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: invalid JSONL record: {exc}"
+                    ) from None
+                records.append(RunRecord.from_dict(payload))
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.load())
+
+    def filter(self, **criteria: Any) -> List[RunRecord]:
+        """Records whose fields match every criterion.
+
+        Criteria match record attributes (``algorithm``, ``cell_id``,
+        ``spec_hash``) first, then spec fields by bare or dotted name —
+        ``store.filter(algorithm="jl-fss", quantize_bits=10)``.  Dotted
+        paths use ``__`` in keyword form (``pipeline__k=5``).
+        """
+        records = self.load()
+        for key, wanted in criteria.items():
+            dotted = key.replace("__", ".")
+            is_attr = key in ("algorithm", "cell_id", "spec_hash")
+            if not is_attr and records and all(
+                record.spec_field(dotted) is None for record in records
+            ):
+                # Spec dicts omit unset fields, so a path absent from EVERY
+                # record is a typo, not an empty match.
+                raise KeyError(
+                    f"unknown filter criterion {key!r}: no record has spec "
+                    f"field {dotted!r}; criteria match record attributes "
+                    f"(algorithm, cell_id, spec_hash) or spec fields by "
+                    f"bare/dotted name"
+                )
+            matched = []
+            for record in records:
+                actual = (getattr(record, key) if is_attr
+                          else record.spec_field(dotted))
+                if actual == wanted:
+                    matched.append(record)
+            records = matched
+        return records
+
+    # ------------------------------------------------------------- tables
+    def compare(
+        self,
+        metrics: Sequence[str] = DEFAULT_COMPARE_METRICS,
+        records: Optional[Sequence[RunRecord]] = None,
+    ) -> "ComparisonTable":
+        """Build a comparison table of aggregate metrics across records."""
+        return compare_records(
+            self.load() if records is None else records, metrics
+        )
+
+
+def _comparison_table(
+    entries: Sequence[Tuple[str, str, Mapping[str, Any]]],
+    metrics: Sequence[str],
+) -> "ComparisonTable":
+    """Shared core of ``compare_records``/``compare_outcomes``: one row per
+    ``(cell, algorithm, summary mapping)`` entry (unknown metric names raise
+    ``KeyError`` with the valid set)."""
+    available = tuple(
+        f.name for f in dataclasses.fields(AlgorithmSummary) if f.name != "algorithm"
+    )
+    rows: List[Dict[str, Any]] = []
+    for cell, algorithm, summary in entries:
+        row: Dict[str, Any] = {"cell": cell, "algorithm": algorithm}
+        for metric in metrics:
+            if metric not in available:
+                raise KeyError(
+                    f"unknown summary metric {metric!r}; available: "
+                    f"{', '.join(available)}"
+                )
+            row[metric] = summary.get(metric)
+        rows.append(row)
+    return ComparisonTable(metrics=tuple(metrics), rows=rows)
+
+
+def compare_records(
+    records: Sequence[RunRecord],
+    metrics: Sequence[str] = DEFAULT_COMPARE_METRICS,
+) -> "ComparisonTable":
+    """One comparison row per record: cell id, algorithm, chosen aggregate
+    metrics (unknown metric names raise ``KeyError`` with the valid set)."""
+    return _comparison_table(
+        [(r.cell_id or r.algorithm, r.algorithm, r.summary) for r in records],
+        metrics,
+    )
+
+
+def compare_outcomes(
+    outcomes: Sequence[Any],
+    metrics: Sequence[str] = DEFAULT_COMPARE_METRICS,
+) -> "ComparisonTable":
+    """Same table as :func:`compare_records`, built straight from in-memory
+    :class:`~repro.api.runner.ExperimentOutcome` objects — no RunRecord
+    construction (spec hashing, evaluation copies) or provenance stamp."""
+    return _comparison_table(
+        [(o.cell_id or o.label, o.label, vars(o.summary)) for o in outcomes],
+        metrics,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    """Rendered-on-demand comparison rows (``str(table)`` → aligned text)."""
+
+    metrics: Tuple[str, ...]
+    rows: List[Dict[str, Any]]
+
+    def __str__(self) -> str:
+        if not self.rows:
+            return "(empty result store)"
+        headers = ["cell", "algorithm", *self.metrics]
+        formatted = [
+            [self._format(row.get(column)) for column in headers]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header), *(len(line[i]) for line in formatted))
+            for i, header in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for line in formatted:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+
+__all__ = [
+    "STORE_VERSION",
+    "DEFAULT_COMPARE_METRICS",
+    "spec_hash",
+    "provenance",
+    "RunRecord",
+    "ResultStore",
+    "ComparisonTable",
+    "compare_records",
+]

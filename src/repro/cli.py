@@ -1,28 +1,37 @@
-"""Command-line interface: run one communication-efficient k-means pipeline.
+"""Command-line interface: declarative experiment runs, sweeps, and reports.
+
+The CLI is built on the typed spec layer (:mod:`repro.api`): every
+invocation — subcommand or legacy flat flags — constructs an
+:class:`~repro.api.ExperimentSpec` and executes it through the experiment
+harness, so flag runs, spec-file runs, and programmatic runs are
+bit-identical.
 
 Example invocations::
 
+    repro run examples/specs/quickstart.toml          # spec-file run
+    repro run spec.toml --runs 3 --store results/run.jsonl
+    repro run --algorithm jl-fss --k 2 --quantize-bits 10
+    repro sweep examples/specs/quantization_sweep.toml --store results/sweep.jsonl
+    repro report results/sweep.jsonl --cdf normalized_cost
+    repro stream --algorithm stream-fss --batch-size 512 --query-every 4
+
+    # legacy flat form (kept working via the spec adapter):
     python -m repro --dataset mnist --algorithm jl-fss-jl --k 2
-    python -m repro --dataset neurips --algorithm bklw --sources 10
-    python -m repro --dataset mnist --algorithm jl-fss --quantize-bits 10 --runs 3
-    python -m repro --algorithm pca-ss --n 500 --d 100   # registry composition
-    python -m repro --list-algorithms
-    python -m repro stream --algorithm stream-fss --batch-size 512 --query-every 4
-    python -m repro stream --algorithm stream-fss-window --window 8
     python -m repro --algorithm bklw --sources 10 --net-preset lossy --dropout 3:1
-    python -m repro stream --algorithm stream-fss --net-preset edge-wan --loss 0.1
+    python -m repro --list-algorithms
 
 Algorithms are resolved through the pipeline registry
 (:mod:`repro.core.registry`), so every registered stage composition — the
-paper's eight algorithms plus the novel ones — is runnable here.  The default
-command generates the named synthetic dataset (see :mod:`repro.datasets`),
-runs the chosen algorithm for the requested number of Monte-Carlo runs, and
-prints the paper's three metrics: normalized k-means cost, normalized
-communication cost, and data-source running time.  The ``stream`` subcommand
-runs a streaming composition over batched arrivals and prints the cost and
+paper's eight algorithms plus the novel ones — is runnable here.  ``repro
+run`` executes one experiment cell (Monte-Carlo repeated) and prints the
+paper's three metrics; ``repro sweep`` expands an axis grid into cells with
+paired seeds and a shared reference solution per (dataset, k), persisting
+every cell to a JSONL result store; ``repro report`` renders stored records
+as comparison tables and text CDFs.  The ``stream`` subcommand runs a
+streaming composition over batched arrivals and prints the cost and
 communication of every mid-stream query.
 
-Both subcommands accept the unreliable-edge simulation flags
+All experiment-shaped commands accept the unreliable-edge simulation flags
 (``--net-preset``, ``--loss``, ``--retries``, ``--dropout``); degraded runs
 report their participation, retransmissions, and simulated network time.
 """
@@ -30,12 +39,12 @@ report their participation, retransmissions, and simulated network time.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Optional
+from typing import Any, Collection, Dict, Optional
 
+from repro import api
 from repro.core import registry
 from repro.datasets import load_benchmark_dataset
 from repro.distributed.conditions import FaultPlan, NetworkCondition
-from repro.metrics import ExperimentRunner
 from repro.quantization.rounding import RoundingQuantizer
 
 
@@ -53,91 +62,110 @@ ALGORITHMS = _algorithms()
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Create the argument parser (exposed separately for testing)."""
+    """Create the legacy flat-flag argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Communication-efficient k-means for edge-based machine learning "
                     "(ICDCS 2020 reproduction).",
-        epilog="Streaming mode: `repro stream --help` runs a stream-* "
-               "composition over batched arrivals (merge-and-reduce coreset "
-               "trees, sliding windows, continuous queries).",
+        epilog="Subcommands: `repro run <spec.toml|flags>` executes one "
+               "declarative experiment spec; `repro sweep <sweep.toml>` "
+               "expands an axis grid into paired cells and persists a JSONL "
+               "result store; `repro report <store.jsonl>` renders stored "
+               "records; `repro stream --help` runs a stream-* composition "
+               "over batched arrivals.",
     )
-    parser.add_argument("--dataset", choices=("mnist", "neurips"), default="mnist",
-                        help="synthetic benchmark dataset to generate")
-    parser.add_argument("--n", type=int, default=None, help="dataset cardinality override")
-    parser.add_argument("--d", type=int, default=None, help="dataset dimension override")
-    parser.add_argument("--algorithm", choices=registry.registered_names(),
-                        default="jl-fss-jl",
-                        help="registered pipeline composition to run")
     parser.add_argument("--list-algorithms", action="store_true",
                         help="print the registered compositions and exit")
-    parser.add_argument("--k", type=int, default=2, help="number of clusters")
-    parser.add_argument("--runs", type=int, default=1, help="Monte-Carlo repetitions")
-    parser.add_argument("--sources", type=int, default=10,
-                        help="number of data sources (multi-source algorithms only)")
-    parser.add_argument("--coreset-size", type=int, default=300,
-                        help="coreset cardinality (single-source algorithms)")
-    parser.add_argument("--total-samples", type=int, default=300,
-                        help="disSS global sample budget (multi-source algorithms)")
-    parser.add_argument("--pca-rank", type=int, default=None,
-                        help="PCA / disPCA rank t")
-    parser.add_argument("--jl-dimension", type=int, default=None,
-                        help="JL target dimension d'")
-    parser.add_argument("--quantize-bits", type=int, default=None,
-                        help="significant bits kept by the rounding quantizer (default: no quantization)")
-    parser.add_argument("--jobs", type=int, default=None,
-                        help="worker threads for per-source computation "
-                             "(multi-source algorithms; 1 = sequential, "
-                             "0 = all cores; results are identical either way)")
-    parser.add_argument("--seed", type=int, default=0, help="master random seed")
-    _add_network_arguments(parser)
+    _add_experiment_arguments(parser)
     return parser
 
 
-def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
-    """Unreliable-edge simulation flags shared by both subcommands."""
+def _add_experiment_arguments(parser: argparse.ArgumentParser,
+                              suppress_defaults: bool = False) -> None:
+    """The flat experiment flags, shared by the legacy form and `repro run`.
+
+    With ``suppress_defaults`` the parser records only flags the user
+    actually typed (so spec-file values are not clobbered by defaults).
+    """
+    def default(value):
+        return argparse.SUPPRESS if suppress_defaults else value
+
+    parser.add_argument("--dataset", choices=("mnist", "neurips"),
+                        default=default("mnist"),
+                        help="synthetic benchmark dataset to generate")
+    parser.add_argument("--n", type=int, default=default(None),
+                        help="dataset cardinality override")
+    parser.add_argument("--d", type=int, default=default(None),
+                        help="dataset dimension override")
+    parser.add_argument("--algorithm", choices=registry.registered_names(),
+                        default=default("jl-fss-jl"),
+                        help="registered pipeline composition to run")
+    parser.add_argument("--k", type=int, default=default(2),
+                        help="number of clusters")
+    parser.add_argument("--runs", type=int, default=default(1),
+                        help="Monte-Carlo repetitions")
+    parser.add_argument("--sources", type=int, default=default(10),
+                        help="number of data sources (multi-source algorithms only)")
+    parser.add_argument("--strategy", choices=api.PARTITION_STRATEGIES,
+                        default=default("random"),
+                        help="shard partition strategy (multi-source algorithms)")
+    parser.add_argument("--coreset-size", type=int, default=default(300),
+                        help="coreset cardinality (single-source algorithms)")
+    parser.add_argument("--total-samples", type=int, default=default(300),
+                        help="disSS global sample budget (multi-source algorithms)")
+    parser.add_argument("--pca-rank", type=int, default=default(None),
+                        help="PCA / disPCA rank t")
+    parser.add_argument("--jl-dimension", type=int, default=default(None),
+                        help="JL target dimension d'")
+    parser.add_argument("--quantize-bits", type=int, default=default(None),
+                        help="significant bits kept by the rounding quantizer (default: no quantization)")
+    parser.add_argument("--jobs", type=int, default=default(None),
+                        help="worker threads for per-source computation "
+                             "(multi-source algorithms; 1 = sequential, "
+                             "0 = all cores; results are identical either way)")
+    parser.add_argument("--seed", type=int, default=default(0),
+                        help="master random seed")
+    _add_network_arguments(parser, suppress_defaults=suppress_defaults)
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser,
+                           suppress_defaults: bool = False) -> None:
+    """Unreliable-edge simulation flags shared by every experiment command."""
+    def default(value):
+        return argparse.SUPPRESS if suppress_defaults else value
+
     group = parser.add_argument_group("network simulation")
     group.add_argument("--net-preset", choices=registry.network_preset_names(),
-                       default="ideal",
+                       default=default("ideal"),
                        help="simulated network condition preset (default: ideal, "
                             "the loss-free wire)")
-    group.add_argument("--loss", type=float, default=None,
+    group.add_argument("--loss", type=float, default=default(None),
                        help="override the per-message Bernoulli loss probability "
                             "of every link (0 <= loss < 1)")
-    group.add_argument("--retries", type=int, default=None,
+    group.add_argument("--retries", type=int, default=default(None),
                        help="override the per-message retransmission budget "
                             "(every attempt is metered)")
-    group.add_argument("--dropout", action="append", default=None,
+    group.add_argument("--dropout", action="append", default=default(None),
                        metavar="SOURCE[:ROUND]",
                        help="drop source SOURCE (index) permanently at protocol "
                             "round / batch step ROUND (default 0); repeatable")
 
 
-def _parse_dropout(specs) -> Dict[str, int]:
-    """Parse repeated ``--dropout i[:round]`` flags into a FaultPlan map."""
-    dropout: Dict[str, int] = {}
-    for spec in specs or ():
-        index, _, at_round = str(spec).partition(":")
-        try:
-            dropout[f"source-{int(index)}"] = int(at_round) if at_round else 0
-        except ValueError:
-            raise SystemExit(
-                f"invalid --dropout {spec!r}: expected SOURCE_INDEX[:ROUND]"
-            ) from None
-    return dropout
-
-
 def _network_settings(args: argparse.Namespace) -> Dict[str, object]:
     """Resolve the network flags into create_pipeline keyword arguments."""
-    condition: NetworkCondition = registry.network_preset(args.net_preset)
-    condition = condition.with_overrides(loss=args.loss, retries=args.retries)
-    dropout = _parse_dropout(args.dropout)
-    return {
-        "network": condition,
-        "fault_plan": FaultPlan(dropout=dropout) if dropout else None,
-        # Loss draws follow the experiment seed so degraded runs reproduce.
-        "network_seed": args.seed,
-    }
+    return _network_spec_from_args(args).to_kwargs(getattr(args, "seed", 0))
+
+
+def _network_spec_from_args(args: argparse.Namespace) -> api.NetworkSpec:
+    try:
+        return api.NetworkSpec(
+            preset=getattr(args, "net_preset", "ideal"),
+            loss=getattr(args, "loss", None),
+            retries=getattr(args, "retries", None),
+            dropout=tuple(getattr(args, "dropout", None) or ()),
+        )
+    except ValueError as exc:  # bad --loss / --dropout grammar etc.
+        raise SystemExit(str(exc)) from None
 
 
 def _print_degradation(report) -> None:
@@ -165,51 +193,64 @@ def list_algorithms() -> str:
     return "\n".join(lines)
 
 
-def _make_factory(args: argparse.Namespace):
-    """Return (factory, is_multi) building a fresh pipeline per run seed."""
-    is_multi = registry.is_multi_source(args.algorithm)
-    quantizer: Optional[RoundingQuantizer] = None
-    if args.quantize_bits is not None and args.quantize_bits < 53:
-        quantizer = RoundingQuantizer(args.quantize_bits)
+# ---------------------------------------------------------------------------
+# The flags → ExperimentSpec adapter (legacy flat form and `repro run` flags).
+# ---------------------------------------------------------------------------
 
-    network_settings = _network_settings(args)
-
-    def factory(seed: int):
-        return registry.create_pipeline(
-            args.algorithm,
-            k=args.k,
-            coreset_size=args.coreset_size,
-            total_samples=args.total_samples,
-            pca_rank=args.pca_rank,
-            jl_dimension=args.jl_dimension,
-            quantizer=quantizer,
-            seed=seed,
-            jobs=getattr(args, "jobs", None),
-            **network_settings,
-        )
-
-    return factory, is_multi
+#: Flat experiment flags that are PipelineConfig knobs (argparse derives the
+#: attribute names from the flags, so flag attr == knob name).
+_FLAG_KNOBS = (
+    "coreset_size", "total_samples", "pca_rank", "jl_dimension",
+    "quantize_bits", "jobs",
+)
 
 
-def run(args: argparse.Namespace) -> Dict[str, float]:
-    """Execute the experiment described by parsed arguments.
+def experiment_spec_from_args(
+    args: argparse.Namespace,
+    typed: Collection[str] = frozenset(),
+) -> api.ExperimentSpec:
+    """The thin legacy adapter: flat CLI flags → typed ExperimentSpec.
 
-    Returns the summary row (also printed) so programmatic callers and tests
-    can inspect it.
+    Knob flags that the chosen algorithm's kind does not accept are dropped
+    (the flat form always carries defaults for both kinds, e.g.
+    ``--coreset-size`` *and* ``--total-samples``) — unless the user
+    explicitly typed them (``typed``, the `repro run` path), in which case
+    they reach PipelineConfig and fail eager validation instead of being
+    silently ignored.
     """
-    points, spec = load_benchmark_dataset(args.dataset, n=args.n, d=args.d, seed=args.seed)
-    print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
-          f"k={args.k}, runs={args.runs}")
+    algorithm = args.algorithm
+    accepted = set(registry.accepted_kwargs(algorithm))
+    knobs: Dict[str, Any] = {}
+    for knob in _FLAG_KNOBS:
+        value = getattr(args, knob, None)
+        if value is None:
+            continue
+        kwarg = "quantizer" if knob == "quantize_bits" else knob
+        if kwarg in accepted or knob in typed:
+            knobs[knob] = value
+    kind = registry.factory_kind(algorithm)
+    return api.ExperimentSpec(
+        pipeline=api.PipelineConfig(algorithm=algorithm, k=args.k, **knobs),
+        data=api.DataSpec(name=args.dataset, n=args.n, d=args.d),
+        network=_network_spec_from_args(args),
+        runs=getattr(args, "runs", 1),
+        seed=args.seed,
+        num_sources=args.sources if kind != "single-source" else None,
+        strategy=getattr(args, "strategy", "random"),
+    )
 
-    runner = ExperimentRunner(points, k=args.k, monte_carlo_runs=args.runs, seed=args.seed)
-    factory, is_multi = _make_factory(args)
-    label = args.algorithm
-    if is_multi:
-        result = runner.run_multi_source({label: factory}, num_sources=args.sources)
-    else:
-        result = runner.run_single_source({label: factory})
 
-    summary = result.summary()[label]
+def _execute_spec(spec: api.ExperimentSpec,
+                  store_path: Optional[str] = None) -> Dict[str, float]:
+    """Run one experiment spec, print the paper's metrics, and return the
+    summary row (shared by the legacy flat form and `repro run`)."""
+    points, dataset = spec.data.load(spec.seed)
+    print(f"dataset: {dataset.name} (n={dataset.n}, d={dataset.d}), "
+          f"algorithm: {spec.pipeline.algorithm}, k={spec.pipeline.k}, "
+          f"runs={spec.runs}")
+
+    outcome = api.run_experiment(spec, points=points, dataset=dataset)
+    summary = outcome.summary
     row = {
         "normalized_cost": summary.mean_normalized_cost,
         "normalized_communication": summary.mean_normalized_communication,
@@ -229,7 +270,211 @@ def run(args: argparse.Namespace) -> Dict[str, float]:
               f"{summary.total_messages_lost} lost messages, "
               f"{summary.mean_simulated_network_seconds:.3f}s mean simulated "
               f"network time")
+    if store_path:
+        record = api.ResultStore(store_path).append(outcome.to_record())
+        print(f"stored run record {record.spec_hash} -> {store_path}")
     return row
+
+
+def run(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute the experiment described by legacy flat arguments.
+
+    Returns the summary row (also printed) so programmatic callers and tests
+    can inspect it.
+    """
+    return _execute_spec(experiment_spec_from_args(args))
+
+
+# ---------------------------------------------------------------------------
+# `repro run`: spec-file (or flag-built) single experiment.
+# ---------------------------------------------------------------------------
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro run`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run one declarative experiment: from a .toml/.json spec "
+                    "file, from flat flags, or from a spec file with flag "
+                    "overrides on top.",
+    )
+    parser.add_argument("spec", nargs="?", default=None,
+                        help="experiment spec file (.toml or .json); omit to "
+                             "build the spec from flags")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="append the run record to this JSONL result store")
+    _add_experiment_arguments(parser, suppress_defaults=True)
+    return parser
+
+
+#: `repro run` flag attribute → spec override axis (see repro.api.axis_names).
+_OVERRIDE_AXES = (
+    ("dataset", "dataset"), ("n", "n"), ("d", "d"),
+    ("algorithm", "algorithm"), ("k", "k"), ("runs", "runs"),
+    ("sources", "num_sources"), ("strategy", "strategy"),
+    ("coreset_size", "coreset_size"), ("total_samples", "total_samples"),
+    ("pca_rank", "pca_rank"), ("jl_dimension", "jl_dimension"),
+    ("quantize_bits", "quantize_bits"), ("jobs", "jobs"), ("seed", "seed"),
+    ("net_preset", "net"), ("loss", "loss"), ("retries", "retries"),
+    ("dropout", "dropout"),
+)
+
+
+def _load_spec_or_exit(path: str):
+    """Resolve a spec file, converting ordinary user mistakes (missing
+    file, malformed TOML/JSON, invalid spec values) into a clean one-line
+    CLI error instead of a traceback."""
+    try:
+        return api.load_spec(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file {path}: {exc}") from None
+    except ValueError as exc:  # covers TOML/JSON decode + spec validation
+        raise SystemExit(f"invalid spec {path}: {exc}") from None
+    except RuntimeError as exc:  # TOML specs on Python < 3.11 (no tomllib)
+        raise SystemExit(f"cannot load spec {path}: {exc}") from None
+
+
+def run_spec(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro run``: resolve the spec, apply overrides, run."""
+    if args.spec is not None:
+        loaded = _load_spec_or_exit(args.spec)
+        if isinstance(loaded, api.SweepSpec):
+            raise SystemExit(
+                f"{args.spec} is a sweep spec; run it with `repro sweep {args.spec}`"
+            )
+        overrides = {
+            axis: tuple(getattr(args, attr)) if attr == "dropout" else getattr(args, attr)
+            for attr, axis in _OVERRIDE_AXES
+            if hasattr(args, attr) and getattr(args, attr) is not None
+        }
+        try:
+            spec = api.apply_axis_overrides(loaded, overrides) if overrides else loaded
+        except ValueError as exc:
+            raise SystemExit(f"invalid override for {args.spec}: {exc}") from None
+    else:
+        defaults = build_parser().parse_args([])
+        merged = vars(defaults).copy()
+        merged.update(vars(args))
+        try:
+            # vars(args) holds only the flags the user typed (SUPPRESS
+            # defaults), so kind-foreign knobs among them raise.
+            spec = experiment_spec_from_args(
+                argparse.Namespace(**merged), typed=set(vars(args))
+            )
+        except ValueError as exc:
+            raise SystemExit(f"invalid experiment flags: {exc}") from None
+    return _execute_spec(spec, store_path=args.store)
+
+
+# ---------------------------------------------------------------------------
+# `repro sweep`: expand an axis grid, run every cell, persist the store.
+# ---------------------------------------------------------------------------
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro sweep`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Expand a sweep spec into its full cell grid (paired "
+                    "Monte-Carlo seeds, one shared reference solution per "
+                    "dataset × k) and run every cell.",
+    )
+    parser.add_argument("spec", help="sweep spec file (.toml or .json)")
+    parser.add_argument("--store", default="results/sweep.jsonl", metavar="PATH",
+                        help="JSONL result store to append cell records to "
+                             "(default: results/sweep.jsonl; pass '' to skip "
+                             "persistence)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="cells executed concurrently (1 = sequential, "
+                             "0 = all cores; results are identical either way)")
+    return parser
+
+
+def run_sweep(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro sweep`` and print the comparison table."""
+    loaded = _load_spec_or_exit(args.spec)
+    if isinstance(loaded, api.ExperimentSpec):
+        loaded = api.SweepSpec(base=loaded)  # a degenerate 1-cell sweep
+    try:
+        # Expansion validates every cell's spec; surface bad axis/base
+        # combinations as a clean error before any cell runs.
+        loaded.cells()
+    except ValueError as exc:
+        raise SystemExit(f"invalid sweep {args.spec}: {exc}") from None
+    print(f"sweep: {loaded.cell_count()} cell(s) over "
+          f"{len(loaded.axes)} axis/axes "
+          f"({', '.join(name for name, _ in loaded.axes) or 'none'})")
+    store = api.ResultStore(args.store) if args.store else None
+    outcomes = api.run_sweep(loaded, jobs=args.jobs, store=store)
+    print(api.compare_outcomes(outcomes))
+    if store is not None:
+        print(f"stored {len(outcomes)} run record(s) -> {store.path}")
+    return {"cells": float(len(outcomes))}
+
+
+# ---------------------------------------------------------------------------
+# `repro report`: tables and text CDFs over a persisted result store.
+# ---------------------------------------------------------------------------
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro report`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a persisted JSONL result store: comparison "
+                    "tables of aggregate metrics, and per-cell empirical "
+                    "CDFs of per-run metrics.",
+    )
+    parser.add_argument("store", help="JSONL result store written by "
+                                      "`repro run --store` / `repro sweep`")
+    parser.add_argument("--metrics", default=",".join(api.DEFAULT_COMPARE_METRICS),
+                        help="comma-separated aggregate (AlgorithmSummary) "
+                             "columns for the table")
+    parser.add_argument("--cdf", default=None, metavar="METRIC",
+                        help="also print the per-cell empirical CDF of one "
+                             "per-run metric (e.g. normalized_cost)")
+    parser.add_argument("--algorithm", default=None,
+                        help="only report records of this algorithm")
+    return parser
+
+
+def run_report(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro report``."""
+    from repro.metrics.experiment import empirical_cdf
+
+    store = api.ResultStore(args.store)
+    records = (store.filter(algorithm=args.algorithm)
+               if args.algorithm else store.load())
+    if not records:
+        print(f"no records in {args.store}")
+        return {"records": 0.0}
+    metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+    try:
+        print(api.compare_records(records, metrics))
+    except KeyError as exc:  # unknown --metrics name, with the valid set
+        raise SystemExit(exc.args[0]) from None
+    if args.cdf:
+        metric = args.cdf
+        print(f"\nempirical CDF of per-run {metric}:")
+        for record in records:
+            label = record.cell_id or record.algorithm
+            samples = [e.get(metric) for e in record.evaluations]
+            if not samples:
+                print(f"  {label}: (no per-run evaluations recorded)")
+                continue
+            if any(not isinstance(s, (int, float)) for s in samples):
+                available = sorted(
+                    key for key, value in record.evaluations[0].items()
+                    if isinstance(value, (int, float))
+                )
+                raise SystemExit(
+                    f"metric {metric!r} is not a numeric per-run metric for "
+                    f"{label}; available: {', '.join(available)}"
+                )
+            values, fractions = empirical_cdf(samples)
+            steps = " ".join(
+                f"{value:.4f}@{fraction:.2f}"
+                for value, fraction in zip(values, fractions)
+            )
+            print(f"  {label}: {steps}")
+    return {"records": float(len(records))}
 
 
 # ---------------------------------------------------------------------------
@@ -305,6 +550,7 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
         query_every=args.query_every,
         seed=args.seed,
         jobs=getattr(args, "jobs", None),
+        strict=True,
         **_network_settings(args),
     )
     print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
@@ -339,13 +585,23 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
     return row
 
 
+#: Subcommand name -> (parser builder, executor).
+_SUBCOMMANDS = {
+    "run": (build_run_parser, run_spec),
+    "sweep": (build_sweep_parser, run_sweep),
+    "report": (build_report_parser, run_report),
+    "stream": (build_stream_parser, run_stream),
+}
+
+
 def main(argv=None) -> int:
     """Console entry point."""
     import sys
 
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "stream":
-        run_stream(build_stream_parser().parse_args(argv[1:]))
+    if argv and argv[0] in _SUBCOMMANDS:
+        build_subparser, execute = _SUBCOMMANDS[argv[0]]
+        execute(build_subparser().parse_args(argv[1:]))
         return 0
     parser = build_parser()
     args = parser.parse_args(argv)

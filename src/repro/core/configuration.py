@@ -64,6 +64,33 @@ class QuantizerConfiguration:
     coreset_cardinality: int
     coreset_dimension: int
 
+    def to_dict(self) -> dict:
+        """JSON/TOML-ready mapping of the solved configuration."""
+        return {
+            "significant_bits": self.significant_bits,
+            "epsilon": self.epsilon,
+            "epsilon_qt": self.epsilon_qt,
+            "predicted_error": self.predicted_error,
+            "predicted_communication": self.predicted_communication,
+            "coreset_cardinality": self.coreset_cardinality,
+            "coreset_dimension": self.coreset_dimension,
+        }
+
+    def as_pipeline_overrides(self) -> dict:
+        """The solved configuration as declarative pipeline knobs.
+
+        Feed the result straight into a :class:`repro.api.PipelineConfig`
+        (``PipelineConfig(algorithm="jl-fss-jl", k=k,
+        **config.as_pipeline_overrides())``) to run the configuration the
+        optimizer chose.
+        """
+        return {
+            "epsilon": self.epsilon,
+            "coreset_size": self.coreset_cardinality,
+            "jl_dimension": self.coreset_dimension,
+            "quantize_bits": self.significant_bits,
+        }
+
 
 def approximation_error_bound(epsilon: float, epsilon_qt: float) -> float:
     """The error bound Y of Eq. (21b) with all DR/CR epsilons equal.

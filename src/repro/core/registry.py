@@ -20,8 +20,9 @@ merge-and-reduce coreset trees, incremental uplink, and continuous queries.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.distributed_pipelines import (
     BKLWPipeline,
@@ -148,19 +149,58 @@ def get_spec(name: str) -> PipelineSpec:
         ) from None
 
 
-def create_pipeline(name: str, **kwargs):
-    """Build a fresh pipeline instance for a registered composition.
-
-    ``kwargs`` are filtered to the standard set for the composition's kind,
-    so callers may pass one merged configuration for mixed experiments.
-    """
+def factory_kind(name: str) -> str:
+    """The keyword-argument kind of a registered composition:
+    ``"streaming"``, ``"multi-source"``, or ``"single-source"``."""
     spec = get_spec(name)
     if spec.streaming:
-        accepted = STREAMING_KWARGS
-    elif spec.multi_source:
-        accepted = MULTI_SOURCE_KWARGS
-    else:
-        accepted = SINGLE_SOURCE_KWARGS
+        return "streaming"
+    if spec.multi_source:
+        return "multi-source"
+    return "single-source"
+
+
+def accepted_kwargs(name: str) -> Tuple[str, ...]:
+    """The standard keyword-argument tuple of a composition's kind."""
+    kind = factory_kind(name)
+    if kind == "streaming":
+        return STREAMING_KWARGS
+    if kind == "multi-source":
+        return MULTI_SOURCE_KWARGS
+    return SINGLE_SOURCE_KWARGS
+
+
+def create_pipeline(name: str, *, strict: Optional[bool] = None, **kwargs):
+    """Build a fresh pipeline instance for a registered composition.
+
+    ``kwargs`` outside the standard set for the composition's kind (see
+    :func:`accepted_kwargs`) are rejected with a ``TypeError`` when
+    ``strict=True``.  The historical behaviour — silently filtering them so
+    callers may pass one merged configuration for mixed experiments — is
+    kept when ``strict`` is unset, but now emits a ``DeprecationWarning``
+    because it turns typos (``jl_dim=20``) into silently-wrong experiments;
+    strict will become the default in a future release.  Pass
+    ``strict=False`` to keep lenient filtering without the warning.
+    """
+    spec = get_spec(name)
+    accepted = accepted_kwargs(name)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        message = (
+            f"create_pipeline({name!r}) got unknown keyword arguments "
+            f"{unknown}; {factory_kind(name)} pipelines accept "
+            f"{sorted(accepted)}"
+        )
+        if strict:
+            raise TypeError(message)
+        if strict is None:
+            warnings.warn(
+                message + " — unknown keyword arguments are silently dropped "
+                "for now, but this will become a TypeError; pass strict=False "
+                "to keep filtering deliberately",
+                DeprecationWarning,
+                stacklevel=2,
+            )
     filtered = {k: v for k, v in kwargs.items() if k in accepted and v is not None}
     return spec.factory(**filtered)
 
@@ -232,49 +272,67 @@ register_pipeline(
 # --------------------------------------------------------------------------
 # Novel compositions the monolithic seed implementations could not express.
 # --------------------------------------------------------------------------
-def _single(stages_builder, default_name):
-    """Wrap a stage-list builder into a single-source pipeline factory."""
 
-    def factory(
-        k,
-        epsilon=0.2,
-        delta=0.1,
-        coreset_size=None,
-        pca_rank=None,
-        jl_dimension=None,
-        second_jl_dimension=None,
-        quantizer=None,
-        server_n_init=5,
-        server_max_iterations=100,
-        seed=None,
-        network=None,
-        fault_plan=None,
-        retries=None,
-        network_seed=None,
-    ):
-        stages = stages_builder(
-            coreset_size=coreset_size,
-            pca_rank=pca_rank,
-            jl_dimension=jl_dimension,
-            second_jl_dimension=second_jl_dimension,
-        )
-        return StagePipeline(
-            stages,
-            k=k,
-            epsilon=epsilon,
-            delta=delta,
-            quantizer=quantizer,
-            server_n_init=server_n_init,
-            server_max_iterations=server_max_iterations,
-            seed=seed,
-            name=default_name,
-            network=network,
-            fault_plan=fault_plan,
-            retries=retries,
-            network_seed=network_seed,
-        )
+#: Defaults shared by every stage-composition factory (values a caller gets
+#: when it omits the argument — the engines' own documented defaults).
+_FACTORY_DEFAULTS = {
+    "epsilon": 0.2,
+    "delta": 0.1,
+    "server_n_init": 5,
+    "server_max_iterations": 100,
+    "batch_size": 512,
+}
+#: Keyword arguments consumed by the stage-list builder (summary geometry)
+#: rather than by the engine constructor.
+_STAGE_GEOMETRY_KWARGS = (
+    "coreset_size", "pca_rank", "jl_dimension", "second_jl_dimension",
+)
+
+
+def _composition_factory(stages_builder, default_name, *, engine_cls, accepted,
+                         defaults=None):
+    """Wrap a stage-list builder into a registry factory.
+
+    The engine keyword dict is assembled once from the ``accepted`` kwargs
+    tuple of the kind — stage-geometry keys are routed to ``stages_builder``
+    and everything else goes to ``engine_cls`` — instead of re-listing every
+    parameter by hand in each factory kind.  ``defaults`` overlays
+    per-composition defaults (e.g. the sliding-window span) on the shared
+    :data:`_FACTORY_DEFAULTS`.
+    """
+    factory_defaults = dict(_FACTORY_DEFAULTS)
+    if defaults:
+        factory_defaults.update(defaults)
+
+    def factory(k, **kwargs):
+        unknown = sorted(set(kwargs) - set(accepted))
+        if unknown:
+            raise TypeError(
+                f"{default_name} factory got unexpected keyword arguments "
+                f"{unknown}; accepted: {sorted(accepted)}"
+            )
+        merged = {
+            key: kwargs.get(key, factory_defaults.get(key))
+            for key in accepted
+            if key != "k"
+        }
+        stage_kwargs = {
+            key: merged.pop(key)
+            for key in _STAGE_GEOMETRY_KWARGS
+            if key in merged
+        }
+        stages = stages_builder(**stage_kwargs)
+        return engine_cls(stages, k=k, name=default_name, **merged)
 
     return factory
+
+
+def _single(stages_builder, default_name):
+    """Wrap a stage-list builder into a single-source pipeline factory."""
+    return _composition_factory(
+        stages_builder, default_name,
+        engine_cls=StagePipeline, accepted=SINGLE_SOURCE_KWARGS,
+    )
 
 
 register_pipeline(
@@ -358,53 +416,11 @@ register_pipeline(
 # --------------------------------------------------------------------------
 def _streaming(stages_builder, default_name, default_window=None):
     """Wrap a stage-list builder into a streaming pipeline factory."""
-
-    def factory(
-        k,
-        epsilon=0.2,
-        delta=0.1,
-        coreset_size=None,
-        pca_rank=None,
-        jl_dimension=None,
-        quantizer=None,
-        batch_size=512,
-        window=None,
-        query_every=None,
-        server_n_init=5,
-        server_max_iterations=100,
-        seed=None,
-        jobs=None,
-        network=None,
-        fault_plan=None,
-        retries=None,
-        network_seed=None,
-    ):
-        stages = stages_builder(
-            coreset_size=coreset_size,
-            pca_rank=pca_rank,
-            jl_dimension=jl_dimension,
-        )
-        return StreamingEngine(
-            stages,
-            k=k,
-            epsilon=epsilon,
-            delta=delta,
-            batch_size=batch_size,
-            window=window if window is not None else default_window,
-            query_every=query_every,
-            quantizer=quantizer,
-            server_n_init=server_n_init,
-            server_max_iterations=server_max_iterations,
-            seed=seed,
-            name=default_name,
-            jobs=jobs,
-            network=network,
-            fault_plan=fault_plan,
-            retries=retries,
-            network_seed=network_seed,
-        )
-
-    return factory
+    return _composition_factory(
+        stages_builder, default_name,
+        engine_cls=StreamingEngine, accepted=STREAMING_KWARGS,
+        defaults={"window": default_window} if default_window is not None else None,
+    )
 
 
 register_pipeline(
@@ -500,6 +516,8 @@ __all__ = [
     "register_pipeline",
     "get_spec",
     "create_pipeline",
+    "accepted_kwargs",
+    "factory_kind",
     "registered_names",
     "registered_specs",
     "is_multi_source",

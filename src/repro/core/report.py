@@ -101,3 +101,31 @@ class PipelineReport:
         """Return self after merging extra detail entries (fluent helper)."""
         self.details.update({k: float(v) for k, v in kwargs.items()})
         return self
+
+    def to_dict(self, include_centers: bool = False) -> Dict[str, object]:
+        """JSON-ready mapping of the report's scalar accounting.
+
+        Centers are omitted by default (a k×d float matrix dominates the
+        payload and the result store re-derives everything it needs from
+        the evaluations); pass ``include_centers=True`` for a full dump.
+        """
+        payload: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "communication_scalars": int(self.communication_scalars),
+            "communication_bits": int(self.communication_bits),
+            "source_seconds": float(self.source_seconds),
+            "server_seconds": float(self.server_seconds),
+            "summary_cardinality": int(self.summary_cardinality),
+            "summary_dimension": int(self.summary_dimension),
+            "quantizer_bits": self.quantizer_bits,
+            "participating_sources": int(self.participating_sources),
+            "failed_sources": int(self.failed_sources),
+            "retransmissions": int(self.retransmissions),
+            "messages_lost": int(self.messages_lost),
+            "simulated_network_seconds": float(self.simulated_network_seconds),
+            "tag_scalars": dict(self.tag_scalars) if self.tag_scalars else None,
+            "details": {k: float(v) for k, v in self.details.items()},
+        }
+        if include_centers:
+            payload["centers"] = np.asarray(self.centers).tolist()
+        return payload

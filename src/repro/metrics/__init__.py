@@ -20,6 +20,7 @@ from repro.metrics.experiment import (
     ExperimentRunner,
     ExperimentResult,
     AlgorithmSummary,
+    EVALUATION_METRICS,
     empirical_cdf,
 )
 from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
@@ -31,6 +32,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResult",
     "AlgorithmSummary",
+    "EVALUATION_METRICS",
     "empirical_cdf",
     "GOLDEN_CONFIG",
     "communication_profile",

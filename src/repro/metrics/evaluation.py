@@ -7,6 +7,7 @@ all evaluated algorithms, mirroring Section 7.1.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -84,6 +85,19 @@ class PipelineEvaluation:
     retransmissions: int = 0
     messages_lost: int = 0
     simulated_network_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (persisted per run by the result store)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - names)
+        if unknown:
+            raise ValueError(f"unknown PipelineEvaluation fields: {unknown}")
+        return cls(**payload)
 
 
 def evaluate_report(report: PipelineReport, context: EvaluationContext) -> PipelineEvaluation:

@@ -9,6 +9,7 @@ multi-source setting.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -93,15 +94,37 @@ class ExperimentResult:
         """Per-run samples of one metric for one algorithm (CDF material)."""
         evals = self.evaluations.get(label)
         if not evals:
-            raise KeyError(f"no evaluations recorded for {label!r}")
+            raise KeyError(
+                f"no evaluations recorded for {label!r}; "
+                f"available labels: {sorted(self.evaluations) or 'none'}"
+            )
+        _check_metric_name(metric)
         return np.array([getattr(e, metric) for e in evals], dtype=float)
 
     def table(self, metric: str) -> Dict[str, float]:
         """Mean of one metric per algorithm (the paper's table format)."""
+        _check_metric_name(metric)
         return {
             label: float(np.mean([getattr(e, metric) for e in evals]))
             for label, evals in self.evaluations.items()
         }
+
+
+#: Metric names :meth:`ExperimentResult.metric_samples` / ``table`` accept —
+#: the fields of one per-run :class:`PipelineEvaluation`.
+EVALUATION_METRICS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(PipelineEvaluation) if f.name != "algorithm"
+)
+
+
+def _check_metric_name(metric: str) -> None:
+    """Reject unknown metric names with the available set (a bare
+    ``AttributeError`` from ``getattr`` used to surface here)."""
+    if metric not in EVALUATION_METRICS:
+        raise KeyError(
+            f"unknown metric {metric!r}; available metrics: "
+            f"{', '.join(EVALUATION_METRICS)}"
+        )
 
 
 def empirical_cdf(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -129,6 +152,13 @@ class ExperimentRunner:
         Master seed; run seeds and the reference solver's seed derive from it.
     reference_n_init:
         Restarts used for the reference centers X*.
+    context:
+        Optional pre-built :class:`EvaluationContext` to evaluate against
+        (the sweep runner shares one reference solution per ``(dataset, k)``
+        cell group so paired cells are judged against identical X*).  The
+        reference-solver seed is still drawn from the master generator, so
+        the per-run Monte-Carlo seeds are identical whether or not a
+        context is supplied.
     """
 
     def __init__(
@@ -138,15 +168,25 @@ class ExperimentRunner:
         monte_carlo_runs: int = 10,
         seed: SeedLike = None,
         reference_n_init: int = 10,
+        context: Optional[EvaluationContext] = None,
     ) -> None:
         self.points = check_matrix(points, "points")
         self.k = check_positive_int(k, "k")
         self.monte_carlo_runs = check_positive_int(monte_carlo_runs, "monte_carlo_runs")
         self._rng = as_generator(seed)
-        self.context = EvaluationContext.build(
-            self.points, self.k, n_init=reference_n_init, seed=derive_seed(self._rng)
-        )
+        reference_seed = derive_seed(self._rng)
+        if context is None:
+            context = EvaluationContext.build(
+                self.points, self.k, n_init=reference_n_init, seed=reference_seed
+            )
+        self.context = context
         self._run_seeds = [derive_seed(rng) for rng in spawn_generators(self._rng, monte_carlo_runs)]
+
+    @property
+    def run_seeds(self) -> List[int]:
+        """The per-run Monte-Carlo seeds (recorded by the result store so
+        paired sweep cells can prove they shared seeds)."""
+        return list(self._run_seeds)
 
     # ------------------------------------------------------------------ API
     def run_single_source(
@@ -206,10 +246,14 @@ class ExperimentRunner:
         Every name is resolved through :mod:`repro.core.registry`; the
         ``overrides`` (``coreset_size``, ``jl_dimension``, ``quantizer``, …)
         are forwarded to each factory, which picks the arguments its kind
-        accepts.  ``k`` and ``seed`` are owned by the runner (the evaluation
-        context is built for ``self.k``; seeds are the per-run Monte-Carlo
-        seeds) and cannot be overridden here.  Multi-source compositions
-        require ``num_sources``.
+        accepts.  An override no kind among ``names`` accepts raises
+        ``TypeError`` (the silent-typo footgun: ``jl_dim=20`` used to run
+        the wrong experiment without a warning); each factory is then
+        invoked strictly with the subset its kind accepts.  ``k`` and
+        ``seed`` are owned by the runner (the evaluation context is built
+        for ``self.k``; seeds are the per-run Monte-Carlo seeds) and cannot
+        be overridden here.  Multi-source compositions require
+        ``num_sources``.
         """
         from repro.core import registry
 
@@ -220,12 +264,27 @@ class ExperimentRunner:
                 "on the ExperimentRunner instead"
             )
 
+        accepted_union = {
+            key for name in names for key in registry.accepted_kwargs(name)
+        }
+        unknown = sorted(set(overrides) - accepted_union)
+        if unknown:
+            raise TypeError(
+                f"run_registered got overrides no requested pipeline kind "
+                f"accepts: {unknown}; accepted across {sorted(set(names))}: "
+                f"{sorted(accepted_union - {'k', 'seed'})}"
+            )
+
         single: Dict[str, PipelineFactory] = {}
         multi: Dict[str, PipelineFactory] = {}
 
         def factory_for(name: str) -> PipelineFactory:
+            accepted = registry.accepted_kwargs(name)
+            kind_overrides = {
+                key: value for key, value in overrides.items() if key in accepted
+            }
             return lambda seed: registry.create_pipeline(
-                name, k=self.k, seed=seed, **overrides
+                name, k=self.k, seed=seed, strict=True, **kind_overrides
             )
 
         for name in names:

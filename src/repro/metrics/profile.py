@@ -65,16 +65,23 @@ def communication_profile(
         names = registry.registered_names()
 
     profiles: Dict[str, Dict[str, object]] = {}
+    merged = {
+        "k": int(cfg["k"]),
+        "seed": int(cfg["pipeline_seed"]),
+        "coreset_size": int(cfg["coreset_size"]),
+        "total_samples": int(cfg["total_samples"]),
+        "pca_rank": int(cfg["pca_rank"]),
+        "jl_dimension": int(cfg["jl_dimension"]),
+        "batch_size": int(cfg["batch_size"]),
+    }
     for name in sorted(names):
+        # One merged config covers all kinds; select each kind's subset so
+        # create_pipeline can run strictly (no silent filtering).
+        accepted = registry.accepted_kwargs(name)
         pipeline = registry.create_pipeline(
             name,
-            k=int(cfg["k"]),
-            seed=int(cfg["pipeline_seed"]),
-            coreset_size=int(cfg["coreset_size"]),
-            total_samples=int(cfg["total_samples"]),
-            pca_rank=int(cfg["pca_rank"]),
-            jl_dimension=int(cfg["jl_dimension"]),
-            batch_size=int(cfg["batch_size"]),
+            strict=True,
+            **{key: value for key, value in merged.items() if key in accepted},
         )
         if registry.is_multi_source(name):
             report = pipeline.run_on_dataset(

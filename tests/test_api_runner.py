@@ -1,0 +1,177 @@
+"""End-to-end tests for the spec runner: golden parity and sweep grids."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.datasets import load_benchmark_dataset
+from repro.metrics import ExperimentRunner
+
+GOLDEN_SPEC = Path(__file__).parent / "goldens" / "experiment_spec.toml"
+
+
+def _deterministic(evaluations):
+    """Evaluations with wall-clock timing zeroed: every remaining field
+    (costs, bits, geometry, participation) must be bit-identical across
+    reruns, so plain dataclass equality is byte-exactness."""
+    import dataclasses
+
+    return [
+        dataclasses.replace(e, source_seconds=0.0, server_seconds=0.0)
+        for e in evaluations
+    ]
+
+
+def _deterministic_summary(summary):
+    import dataclasses
+
+    return dataclasses.replace(summary, mean_source_seconds=0.0)
+
+
+class TestGoldenSpecParity:
+    """`repro run spec.toml` must be bit-identical to the equivalent
+    hand-written ExperimentRunner.run_registered call."""
+
+    def test_golden_spec_matches_direct_run_registered(self):
+        spec = api.load_spec(GOLDEN_SPEC)
+        assert isinstance(spec, api.ExperimentSpec)
+        outcome = api.run_experiment(spec)
+
+        # The equivalent direct call, written out by hand (no network
+        # kwargs: the spec's default ideal preset must be byte-equivalent
+        # to not simulating a network at all).
+        points, _ = load_benchmark_dataset("mnist", n=300, d=64, seed=3)
+        runner = ExperimentRunner(points, k=2, monte_carlo_runs=2, seed=3)
+        result = runner.run_registered(
+            ["jl-fss"], coreset_size=60, jl_dimension=10,
+        )
+
+        direct = result.evaluations["jl-fss"]
+        via_spec = outcome.evaluations
+        assert len(via_spec) == len(direct) == 2
+        assert _deterministic(via_spec) == _deterministic(direct)
+        assert _deterministic_summary(outcome.summary) == \
+            _deterministic_summary(result.summary()["jl-fss"])
+        assert outcome.run_seeds == tuple(runner.run_seeds)
+
+    def test_multi_source_spec_matches_direct_call(self):
+        spec = api.ExperimentSpec(
+            pipeline=api.PipelineConfig(algorithm="bklw", k=2,
+                                        total_samples=40, pca_rank=5),
+            data=api.DataSpec(name="neurips", n=240, d=60),
+            runs=2,
+            seed=4,
+            num_sources=3,
+        )
+        outcome = api.run_experiment(spec)
+
+        points, _ = load_benchmark_dataset("neurips", n=240, d=60, seed=4)
+        runner = ExperimentRunner(points, k=2, monte_carlo_runs=2, seed=4)
+        result = runner.run_registered(
+            ["bklw"], num_sources=3, total_samples=40, pca_rank=5,
+        )
+        assert _deterministic(outcome.evaluations) == \
+            _deterministic(result.evaluations["bklw"])
+
+    def test_shared_context_does_not_change_results(self):
+        spec = api.load_spec(GOLDEN_SPEC)
+        plain = api.run_experiment(spec)
+        via_sweep = api.run_sweep(api.SweepSpec(base=spec))
+        assert len(via_sweep) == 1
+        assert _deterministic(via_sweep[0].evaluations) == \
+            _deterministic(plain.evaluations)
+        assert _deterministic_summary(via_sweep[0].summary) == \
+            _deterministic_summary(plain.summary)
+
+
+class TestSweepGrid:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = api.ExperimentSpec(
+            pipeline=api.PipelineConfig(algorithm="jl-fss", k=2,
+                                        coreset_size=40, jl_dimension=8),
+            data=api.DataSpec(name="mnist", n=200, d=30),
+            runs=2,
+            seed=5,
+        )
+        return api.SweepSpec(base=base, axes={
+            "k": [2, 3],
+            "quantize_bits": [8, 12],
+            "net": ["ideal", "lossy"],
+        })
+
+    @pytest.fixture(scope="class")
+    def stored(self, sweep, tmp_path_factory):
+        store = api.ResultStore(
+            tmp_path_factory.mktemp("sweep") / "sweep.jsonl"
+        )
+        outcomes = api.run_sweep(sweep, store=store)
+        return outcomes, store
+
+    def test_2x2x2_grid_persists_8_records(self, stored):
+        outcomes, store = stored
+        records = store.load()
+        assert len(outcomes) == len(records) == 8
+        assert len({r.cell_id for r in records}) == 8
+        assert len({r.spec_hash for r in records}) == 8
+
+    def test_paired_monte_carlo_seeds(self, stored):
+        outcomes, store = stored
+        seed_sets = {r.run_seeds for r in store.load()}
+        assert len(seed_sets) == 1          # every cell drew the same seeds
+        assert len(next(iter(seed_sets))) == 2
+
+    def test_cells_share_reference_per_dataset_k(self, stored):
+        # Cells differing only in the network axis are judged against the
+        # same reference and transmit the same summary: identical costs.
+        outcomes, _ = stored
+        by_id = {o.cell_id: o for o in outcomes}
+        for k in (2, 3):
+            for bits in (8, 12):
+                ideal = by_id[f"k={k},quantize_bits={bits},net=ideal"]
+                lossy = by_id[f"k={k},quantize_bits={bits},net=lossy"]
+                assert ideal.summary.mean_normalized_cost == \
+                    pytest.approx(lossy.summary.mean_normalized_cost)
+
+    def test_compare_table_over_the_store(self, stored):
+        _, store = stored
+        table = store.compare()
+        assert len(table.rows) == 8
+        text = str(table)
+        assert "k=3,quantize_bits=12,net=lossy" in text
+        for row in table.rows:
+            assert np.isfinite(row["mean_normalized_cost"])
+
+    def test_compare_outcomes_matches_record_table(self, stored):
+        # The in-memory table (what `repro sweep` prints) must equal the
+        # one rebuilt from persisted records, without re-stamping records.
+        outcomes, store = stored
+        assert api.compare_outcomes(outcomes).rows == store.compare().rows
+
+    def test_records_carry_spec_and_provenance(self, stored):
+        _, store = stored
+        record = store.load()[0]
+        assert record.spec["pipeline"]["algorithm"] == "jl-fss"
+        assert record.spec["seed"] == 5
+        assert "repro_version" in record.provenance
+        assert record.summary["runs"] == 2
+        assert len(record.evaluations) == 2
+        rebuilt = api.ExperimentSpec.from_dict(record.spec)
+        assert rebuilt.pipeline.k in (2, 3)
+
+    def test_parallel_jobs_bitwise_equal_to_sequential(self, sweep):
+        sequential = api.run_sweep(sweep, jobs=1)
+        threaded = api.run_sweep(sweep, jobs=4)
+        for a, b in zip(sequential, threaded):
+            assert a.cell_id == b.cell_id
+            assert _deterministic(a.evaluations) == _deterministic(b.evaluations)
+
+    def test_store_filter_slices_the_grid(self, stored):
+        _, store = stored
+        k3 = store.filter(k=3)
+        assert len(k3) == 4
+        assert all(r.spec_field("pipeline.k") == 3 for r in k3)
+        lossy = store.filter(preset="lossy")
+        assert len(lossy) == 4

@@ -1,0 +1,384 @@
+"""Tests for the declarative spec layer (repro.api.specs / serialization)."""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.api.serialization import dumps_toml
+from repro.core import registry
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover
+    tomllib = None
+
+requires_toml = pytest.mark.skipif(tomllib is None, reason="tomllib requires 3.11+")
+
+
+# ---------------------------------------------------------------------------
+# PipelineConfig validation
+# ---------------------------------------------------------------------------
+
+class TestPipelineConfig:
+    def test_unknown_field_is_a_type_error(self):
+        with pytest.raises(TypeError, match="jl_dim"):
+            api.PipelineConfig(algorithm="jl-fss", k=2, jl_dim=20)
+
+    def test_unknown_algorithm_lists_registered(self):
+        with pytest.raises(ValueError, match="jl-fss"):
+            api.PipelineConfig(algorithm="quantum-kmeans", k=2)
+
+    def test_kind_foreign_knob_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="total_samples"):
+            api.PipelineConfig(algorithm="fss", k=2, total_samples=40)
+        with pytest.raises(ValueError, match="coreset_size"):
+            api.PipelineConfig(algorithm="bklw", k=2, coreset_size=50)
+        with pytest.raises(ValueError, match="batch_size"):
+            api.PipelineConfig(algorithm="fss", k=2, batch_size=128)
+
+    def test_error_names_the_accepted_knobs(self):
+        with pytest.raises(ValueError, match="coreset_size"):
+            # The message lists the accepted knob set for the kind.
+            api.PipelineConfig(algorithm="fss", k=2, total_samples=40)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="k"):
+            api.PipelineConfig(algorithm="fss", k=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            api.PipelineConfig(algorithm="fss", k=2, epsilon=1.5)
+        with pytest.raises(ValueError, match="coreset_size"):
+            api.PipelineConfig(algorithm="fss", k=2, coreset_size=-3)
+
+    def test_kind_property(self):
+        assert api.PipelineConfig(algorithm="fss", k=2).kind == "single-source"
+        assert api.PipelineConfig(algorithm="bklw", k=2).kind == "multi-source"
+        assert api.PipelineConfig(algorithm="stream-fss", k=2).kind == "streaming"
+
+    def test_quantizer_materialisation(self):
+        config = api.PipelineConfig(algorithm="fss", k=2, quantize_bits=10)
+        assert config.quantizer().significant_bits == 10
+        # >= 53 bits keeps full doubles (the CLI's historical semantics).
+        assert api.PipelineConfig(
+            algorithm="fss", k=2, quantize_bits=60
+        ).quantizer() is None
+        assert api.PipelineConfig(algorithm="fss", k=2).quantizer() is None
+
+    def test_to_overrides_maps_quantize_bits(self):
+        config = api.PipelineConfig(
+            algorithm="jl-fss", k=2, coreset_size=50, quantize_bits=8
+        )
+        overrides = config.to_overrides()
+        assert overrides["coreset_size"] == 50
+        assert overrides["quantizer"].significant_bits == 8
+        assert "quantize_bits" not in overrides
+        assert "k" not in overrides
+
+
+class TestDataAndNetworkSpecs:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="mnist"):
+            api.DataSpec(name="imagenet")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="ideal"):
+            api.NetworkSpec(preset="5g")
+
+    def test_bad_dropout_grammar_rejected(self):
+        with pytest.raises(ValueError, match="SOURCE_INDEX"):
+            api.NetworkSpec(dropout=("banana",))
+
+    def test_network_kwargs_resolution(self):
+        spec = api.NetworkSpec(preset="lossy", loss=0.1, retries=2,
+                               dropout=("3:1", "5"))
+        kwargs = spec.to_kwargs(default_seed=9)
+        assert kwargs["network"].default_link.loss == pytest.approx(0.1)
+        assert kwargs["network"].retries == 2
+        assert kwargs["fault_plan"].dropout == {"source-3": 1, "source-5": 0}
+        assert kwargs["network_seed"] == 9
+
+    def test_network_seed_override_wins(self):
+        assert api.NetworkSpec(network_seed=4).to_kwargs(9)["network_seed"] == 4
+
+
+class TestExperimentSpec:
+    def test_multi_source_requires_num_sources(self):
+        with pytest.raises(ValueError, match="num_sources"):
+            api.ExperimentSpec(
+                pipeline=api.PipelineConfig(algorithm="bklw", k=2)
+            )
+
+    def test_streaming_requires_num_sources(self):
+        with pytest.raises(ValueError, match="num_sources"):
+            api.ExperimentSpec(
+                pipeline=api.PipelineConfig(algorithm="stream-fss", k=2)
+            )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="random"):
+            api.ExperimentSpec(
+                pipeline=api.PipelineConfig(algorithm="fss", k=2),
+                strategy="round-robin",
+            )
+
+    def test_from_dict_rejects_unknown_sections(self):
+        with pytest.raises(ValueError, match="pipelines"):
+            api.ExperimentSpec.from_dict(
+                {"pipelines": {"algorithm": "fss", "k": 2}}
+            )
+
+
+# ---------------------------------------------------------------------------
+# Round-tripping
+# ---------------------------------------------------------------------------
+
+def _spec_strategy():
+    """Hypothesis strategy over valid single/multi/streaming specs."""
+    single = sorted(registry.registered_names(multi_source=False))
+    multi = sorted(registry.registered_names(multi_source=True, streaming=False))
+    streaming = sorted(registry.registered_names(streaming=True))
+
+    def pipeline(draw):
+        kind = draw(st.sampled_from(["single", "multi", "streaming"]))
+        k = draw(st.integers(min_value=1, max_value=8))
+        knobs = {}
+        if draw(st.booleans()):
+            knobs["epsilon"] = draw(st.floats(min_value=0.01, max_value=0.99,
+                                              allow_nan=False))
+        if kind == "single":
+            name = draw(st.sampled_from(single))
+            if draw(st.booleans()):
+                knobs["coreset_size"] = draw(st.integers(1, 500))
+            if draw(st.booleans()):
+                knobs["quantize_bits"] = draw(st.integers(1, 52))
+        elif kind == "multi":
+            name = draw(st.sampled_from(multi))
+            if draw(st.booleans()):
+                knobs["total_samples"] = draw(st.integers(1, 500))
+        else:
+            name = draw(st.sampled_from(streaming))
+            if draw(st.booleans()):
+                knobs["batch_size"] = draw(st.integers(1, 1024))
+            if draw(st.booleans()):
+                knobs["window"] = draw(st.integers(1, 16))
+        return api.PipelineConfig(algorithm=name, k=k, **knobs), kind
+
+    @st.composite
+    def spec(draw):
+        config, kind = pipeline(draw)
+        return api.ExperimentSpec(
+            pipeline=config,
+            data=api.DataSpec(
+                name=draw(st.sampled_from(["mnist", "neurips"])),
+                n=draw(st.one_of(st.none(), st.integers(10, 10000))),
+                d=draw(st.one_of(st.none(), st.integers(2, 500))),
+            ),
+            network=api.NetworkSpec(
+                preset=draw(st.sampled_from(["ideal", "lossy", "edge-wan"])),
+                loss=draw(st.one_of(
+                    st.none(),
+                    st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+                )),
+                retries=draw(st.one_of(st.none(), st.integers(0, 5))),
+                dropout=tuple(draw(st.lists(
+                    st.integers(0, 9).map(str), max_size=2, unique=True
+                ))),
+            ),
+            runs=draw(st.integers(1, 10)),
+            seed=draw(st.integers(0, 2**31 - 1)),
+            num_sources=(None if kind == "single"
+                         else draw(st.integers(1, 16))),
+            strategy=draw(st.sampled_from(api.PARTITION_STRATEGIES)),
+        )
+
+    return spec()
+
+
+class TestRoundTrip:
+    @given(spec=_spec_strategy())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dict_round_trip(self, spec):
+        assert api.ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_spec_strategy())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_json_round_trip(self, spec):
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert api.ExperimentSpec.from_dict(payload) == spec
+
+    @requires_toml
+    @given(spec=_spec_strategy())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_toml_round_trip(self, spec):
+        payload = tomllib.loads(dumps_toml(spec.to_dict()))
+        assert api.ExperimentSpec.from_dict(payload) == spec
+
+    @requires_toml
+    @given(spec=_spec_strategy(),
+           axes=st.lists(st.sampled_from([
+               ("k", (2, 5)), ("quantize_bits", (6, 10, 14)),
+               ("net", ("ideal", "lossy")), ("seed", (0, 1)),
+               ("dataset", ("mnist", "neurips")),
+           ]), max_size=3, unique_by=lambda kv: kv[0]))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sweep_toml_round_trip(self, spec, axes):
+        sweep = api.SweepSpec(base=spec, axes=tuple(axes))
+        payload = tomllib.loads(dumps_toml(sweep.to_dict()))
+        assert api.SweepSpec.from_dict(payload) == sweep
+
+    def test_file_round_trip_both_formats(self, tmp_path):
+        spec = api.ExperimentSpec(
+            pipeline=api.PipelineConfig(algorithm="jl-fss", k=3,
+                                        coreset_size=80, quantize_bits=10),
+            data=api.DataSpec(name="neurips", n=500, d=100),
+            network=api.NetworkSpec(preset="lossy", retries=2),
+            runs=4,
+            seed=11,
+        )
+        for suffix in (".toml", ".json") if tomllib else (".json",):
+            path = api.dump_spec(spec, tmp_path / f"spec{suffix}")
+            assert api.load_spec(path) == spec
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        spec = api.ExperimentSpec(
+            pipeline=api.PipelineConfig(algorithm="fss", k=2)
+        )
+        with pytest.raises(ValueError, match="yaml"):
+            api.dump_spec(spec, tmp_path / "spec.yaml")
+
+
+# ---------------------------------------------------------------------------
+# Sweep expansion
+# ---------------------------------------------------------------------------
+
+def _base_spec(**kwargs):
+    defaults = dict(
+        pipeline=api.PipelineConfig(algorithm="jl-fss", k=2, coreset_size=60),
+        data=api.DataSpec(name="mnist", n=300, d=64),
+        runs=2,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return api.ExperimentSpec(**defaults)
+
+
+class TestSweepExpansion:
+    def test_cartesian_product_in_declaration_order(self):
+        sweep = api.SweepSpec(
+            base=_base_spec(),
+            axes={"quantize_bits": [6, 10], "net": ["ideal", "lossy"]},
+        )
+        cells = sweep.cells()
+        assert sweep.cell_count() == len(cells) == 4
+        assert [c.cell_id for c in cells] == [
+            "quantize_bits=6,net=ideal", "quantize_bits=6,net=lossy",
+            "quantize_bits=10,net=ideal", "quantize_bits=10,net=lossy",
+        ]
+        assert cells[0].spec.pipeline.quantize_bits == 6
+        assert cells[1].spec.network.preset == "lossy"
+        # All cells keep the base seed: paired Monte-Carlo runs.
+        assert {c.spec.seed for c in cells} == {3}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="quantize_bits"):
+            api.SweepSpec(base=_base_spec(), axes={"qt_bits": [6]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            api.SweepSpec(base=_base_spec(), axes={"k": []})
+
+    def test_invalid_cell_raises_at_expansion(self):
+        # Sweeping algorithm onto a multi-source name without num_sources
+        # must fail loudly when that cell's spec is built.
+        base = _base_spec(pipeline=api.PipelineConfig(algorithm="jl-fss", k=2))
+        sweep = api.SweepSpec(base=base, axes={"algorithm": ["bklw"]})
+        with pytest.raises(ValueError, match="num_sources"):
+            sweep.cells()
+
+    def test_kind_foreign_knob_caught_at_expansion(self):
+        # Sweeping algorithm onto a kind that rejects a base knob fails
+        # with the eager PipelineConfig validation error.
+        sweep = api.SweepSpec(base=_base_spec(), axes={"algorithm": ["bklw"]})
+        with pytest.raises(ValueError, match="coreset_size"):
+            sweep.cells()
+
+    def test_axis_routing_covers_all_sections(self):
+        sweep = api.SweepSpec(
+            base=_base_spec(num_sources=4),
+            axes={"dataset": ["neurips"], "loss": [0.2], "runs": [5],
+                  "k": [7]},
+        )
+        cell = sweep.cells()[0]
+        assert cell.spec.data.name == "neurips"
+        assert cell.spec.network.loss == pytest.approx(0.2)
+        assert cell.spec.runs == 5
+        assert cell.spec.pipeline.k == 7
+
+    def test_axisless_sweep_is_one_base_cell(self):
+        cells = api.SweepSpec(base=_base_spec()).cells()
+        assert len(cells) == 1
+        assert cells[0].cell_id == "base"
+        assert cells[0].spec == _base_spec()
+
+    def test_apply_axis_overrides_unknown_name(self):
+        with pytest.raises(ValueError, match="available"):
+            api.apply_axis_overrides(_base_spec(), {"bogus": 1})
+
+    def test_apply_axis_overrides_validates_jointly(self):
+        # algorithm=bklw alone would fail (multi-source needs num_sources);
+        # paired with a num_sources override the combination is valid and
+        # must not be rejected at an intermediate per-section step.
+        base = _base_spec(pipeline=api.PipelineConfig(algorithm="jl-fss", k=2))
+        spec = api.apply_axis_overrides(
+            base, {"algorithm": "bklw", "num_sources": 4}
+        )
+        assert spec.pipeline.algorithm == "bklw"
+        assert spec.num_sources == 4
+
+    def test_scalar_axis_value_is_one_value_axis(self):
+        # `net = "lossy"` / `k = 5` in a sweep TOML (missing brackets) must
+        # become one-value axes, not iterate the string or crash.
+        sweep = api.SweepSpec(
+            base=_base_spec(), axes={"net": "lossy", "k": 5}
+        )
+        assert sweep.axes == (("net", ("lossy",)), ("k", (5,)))
+        assert sweep.cell_count() == 1
+
+    def test_duplicate_axis_names_rejected(self):
+        # Tuple-form axes could repeat a name, producing a bogus grid that
+        # to_dict() would silently collapse after a round-trip.
+        with pytest.raises(ValueError, match="duplicate sweep axis"):
+            api.SweepSpec(
+                base=_base_spec(), axes=(("k", (2, 3)), ("k", (4, 5)))
+            )
+
+    def test_sweep_pairs_algorithm_and_num_sources_axes(self):
+        sweep = api.SweepSpec(
+            base=_base_spec(pipeline=api.PipelineConfig(algorithm="jl-fss", k=2)),
+            axes={"algorithm": ["jl-fss", "bklw"], "num_sources": [4]},
+        )
+        cells = sweep.cells()
+        assert [c.spec.pipeline.algorithm for c in cells] == ["jl-fss", "bklw"]
+        assert all(c.spec.num_sources == 4 for c in cells)
+
+
+class TestConfigurationBridge:
+    def test_solved_configuration_feeds_pipeline_config(self):
+        from repro.core.configuration import configure_joint_reduction
+
+        solved = configure_joint_reduction(
+            n=1000, d=50, k=3, error_bound=4.0,
+            optimal_cost_lower_bound=50.0, max_norm=1.0,
+        )
+        overrides = solved.as_pipeline_overrides()
+        config = api.PipelineConfig(algorithm="jl-fss-jl", k=3, **overrides)
+        assert config.quantize_bits == solved.significant_bits
+        assert config.coreset_size == solved.coreset_cardinality
+        assert solved.to_dict()["significant_bits"] == solved.significant_bits

@@ -1,0 +1,150 @@
+"""Tests for the persisted result store (repro.api.store)."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api.store import compare_records, spec_hash
+
+
+def _spec_dict(**overrides):
+    payload = {
+        "pipeline": {"algorithm": "jl-fss", "k": 2, "coreset_size": 60},
+        "runs": 2,
+        "seed": 3,
+        "strategy": "random",
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _record(cell_id="cell-a", algorithm="jl-fss", cost=1.05, **spec_overrides):
+    return api.RunRecord(
+        algorithm=algorithm,
+        spec=_spec_dict(**spec_overrides),
+        summary={
+            "algorithm": "JL+FSS (Alg1)",
+            "mean_normalized_cost": cost,
+            "max_normalized_cost": cost + 0.01,
+            "mean_normalized_communication": 0.04,
+            "mean_source_seconds": 0.003,
+            "runs": 2,
+            "mean_participating_sources": 1.0,
+            "total_failed_sources": 0,
+            "total_retransmissions": 0,
+            "total_messages_lost": 0,
+            "mean_simulated_network_seconds": 0.0,
+        },
+        evaluations=(
+            {"algorithm": "JL+FSS (Alg1)", "normalized_cost": cost,
+             "normalized_communication": 0.04, "communication_scalars": 100,
+             "communication_bits": 6400, "source_seconds": 0.003,
+             "server_seconds": 0.001, "summary_cardinality": 60,
+             "summary_dimension": 10},
+        ),
+        run_seeds=(11, 22),
+        cell_id=cell_id,
+        provenance={"repro_version": "test"},
+    )
+
+
+class TestRunRecord:
+    def test_round_trip(self):
+        record = _record()
+        clone = api.RunRecord.from_dict(json.loads(
+            json.dumps(record.to_dict())
+        ))
+        assert clone == record
+
+    def test_spec_hash_is_stable_and_content_addressed(self):
+        a, b = _record(), _record()
+        assert a.spec_hash == b.spec_hash == spec_hash(a.spec)
+        assert _record(seed=4).spec_hash != a.spec_hash
+
+    def test_rehydration(self):
+        record = _record()
+        summary = record.algorithm_summary()
+        assert summary.mean_normalized_cost == pytest.approx(1.05)
+        evaluations = record.pipeline_evaluations()
+        assert len(evaluations) == 1
+        assert evaluations[0].communication_bits == 6400
+
+    def test_spec_field_lookup(self):
+        record = _record()
+        assert record.spec_field("pipeline.k") == 2
+        assert record.spec_field("k") == 2          # bare name searches sections
+        assert record.spec_field("runs") == 2       # top-level field
+        assert record.spec_field("nonexistent") is None
+
+    def test_unknown_payload_field_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            api.RunRecord.from_dict({"algorithm": "x", "spec": {},
+                                     "summary": {}, "bogus": 1})
+
+
+class TestResultStore:
+    def test_append_load_round_trip(self, tmp_path):
+        store = api.ResultStore(tmp_path / "results" / "store.jsonl")
+        first, second = _record("cell-a"), _record("cell-b", cost=1.10)
+        store.append(first)
+        store.append(second)
+        loaded = store.load()
+        assert loaded == [first, second]
+        assert len(store) == 2
+        assert [r.cell_id for r in store] == ["cell-a", "cell-b"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert api.ResultStore(tmp_path / "nope.jsonl").load() == []
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_record().to_dict()) + "\nnot-json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            api.ResultStore(path).load()
+
+    def test_filter_on_record_and_spec_fields(self, tmp_path):
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.extend([
+            _record("cell-a", cost=1.0),
+            _record("cell-b", cost=1.2, seed=9),
+            _record("cell-c", algorithm="fss"),
+        ])
+        assert [r.cell_id for r in store.filter(algorithm="jl-fss")] == \
+            ["cell-a", "cell-b"]
+        assert [r.cell_id for r in store.filter(seed=9)] == ["cell-b"]
+        assert [r.cell_id for r in store.filter(pipeline__k=2,
+                                                algorithm="fss")] == ["cell-c"]
+        assert store.filter(seed=12345) == []
+
+    def test_filter_typoed_criterion_raises(self, tmp_path):
+        # A criterion naming a field no record has is a typo, not an
+        # empty match (the silent-drop footgun class this PR removes).
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.append(_record())
+        with pytest.raises(KeyError, match="unknown filter criterion"):
+            store.filter(algoritm="jl-fss")
+
+    def test_compare_table(self, tmp_path):
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.extend([_record("cell-a", cost=1.0), _record("cell-b", cost=1.2)])
+        table = store.compare()
+        assert table.metrics == api.DEFAULT_COMPARE_METRICS
+        assert [row["cell"] for row in table.rows] == ["cell-a", "cell-b"]
+        text = str(table)
+        assert "cell-a" in text and "mean_normalized_cost" in text
+
+    def test_compare_unknown_metric_lists_available(self):
+        with pytest.raises(KeyError, match="mean_normalized_cost"):
+            compare_records([_record()], metrics=("not_a_metric",))
+
+    def test_empty_table_renders(self):
+        assert "empty" in str(compare_records([]))
+
+
+class TestProvenance:
+    def test_provenance_fields(self):
+        stamp = api.provenance()
+        assert set(stamp) == {"repro_version", "numpy_version",
+                              "python_version", "git_commit"}
+        assert stamp["repro_version"] not in (None, "")

@@ -51,6 +51,7 @@ def _run(name: str, points, network_seed: int = 99, drop: bool = True):
     )
     pipeline = registry.create_pipeline(
         name,
+        strict=False,  # merged kwargs cover both kinds deliberately
         k=3,
         seed=123,
         network=CHAOS_CONDITION,
@@ -130,7 +131,7 @@ class TestChaosSingleSource:
 class TestChaosStreamingSemantics:
     def test_dropped_source_stops_contributing_batches(self, blob_points):
         ideal = registry.create_pipeline(
-            "stream-fss", k=3, seed=123, **PIPELINE_KWARGS
+            "stream-fss", strict=False, k=3, seed=123, **PIPELINE_KWARGS
         )
         healthy = ideal.run_on_dataset(blob_points, num_sources=NUM_SOURCES,
                                        partition_seed=7)
@@ -142,6 +143,7 @@ class TestChaosStreamingSemantics:
         # so the source is never excluded and participation stays full.
         pipeline = registry.create_pipeline(
             "stream-fss",
+            strict=False,
             k=3,
             seed=123,
             network=CHAOS_CONDITION,

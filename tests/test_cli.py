@@ -1,11 +1,18 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
+from repro import api
 from repro.cli import (
     ALGORITHMS,
     build_parser,
+    build_report_parser,
+    build_run_parser,
     build_stream_parser,
+    build_sweep_parser,
+    experiment_spec_from_args,
     main,
     run,
     run_stream,
@@ -118,3 +125,292 @@ class TestStreamSubcommand:
             "--algorithm", "stream-jl-ss", "--coreset-size", "30",
             "--jl-dimension", "10", "--batch-size", "100", "--seed", "9",
         ]) == 0
+
+
+# ---------------------------------------------------------------------------
+# The spec adapter and the rebuilt run/sweep/report subcommands.
+# ---------------------------------------------------------------------------
+
+SPEC_TOML = """\
+runs = 1
+seed = 3
+
+[pipeline]
+algorithm = "jl-fss"
+k = 2
+coreset_size = 60
+
+[data]
+name = "mnist"
+n = 300
+d = 64
+"""
+
+SWEEP_TOML = """\
+[base]
+runs = 1
+seed = 3
+
+[base.pipeline]
+algorithm = "jl-fss"
+k = 2
+coreset_size = 60
+
+[base.data]
+name = "mnist"
+n = 200
+d = 30
+
+[axes]
+quantize_bits = [8, 12]
+"""
+
+
+class TestSpecAdapter:
+    def test_flat_flags_build_a_valid_spec(self):
+        args = build_parser().parse_args([
+            "--algorithm", "jl-fss", "--n", "300", "--d", "64",
+            "--coreset-size", "60", "--runs", "2", "--seed", "3",
+        ])
+        spec = experiment_spec_from_args(args)
+        assert spec.pipeline.algorithm == "jl-fss"
+        assert spec.pipeline.coreset_size == 60
+        # The flat form always carries both kinds' defaults; the adapter
+        # drops the foreign one (total_samples for a single-source kind).
+        assert spec.pipeline.total_samples is None
+        assert spec.num_sources is None
+        assert spec.runs == 2 and spec.seed == 3
+
+    def test_multi_source_flags_set_num_sources(self):
+        args = build_parser().parse_args([
+            "--algorithm", "bklw", "--sources", "4", "--total-samples", "50",
+        ])
+        spec = experiment_spec_from_args(args)
+        assert spec.num_sources == 4
+        assert spec.pipeline.total_samples == 50
+        assert spec.pipeline.coreset_size is None
+
+    def test_network_flags_reach_the_spec(self):
+        args = build_parser().parse_args([
+            "--algorithm", "bklw", "--net-preset", "lossy", "--loss", "0.1",
+            "--dropout", "2:1",
+        ])
+        spec = experiment_spec_from_args(args)
+        assert spec.network.preset == "lossy"
+        assert spec.network.loss == pytest.approx(0.1)
+        assert spec.network.dropout == ("2:1",)
+
+    def test_bad_dropout_is_a_system_exit(self):
+        args = build_parser().parse_args([
+            "--algorithm", "bklw", "--dropout", "banana",
+        ])
+        with pytest.raises(SystemExit):
+            experiment_spec_from_args(args)
+
+
+class TestRunSubcommand:
+    def test_spec_file_run(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.toml"
+        spec_path.write_text(SPEC_TOML)
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "normalized k-means cost" in out
+        assert "algorithm: jl-fss" in out
+
+    def test_spec_file_with_flag_overrides_and_store(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.toml"
+        spec_path.write_text(SPEC_TOML)
+        store_path = tmp_path / "results" / "run.jsonl"
+        assert main(["run", str(spec_path), "--runs", "2",
+                     "--store", str(store_path)]) == 0
+        records = api.ResultStore(store_path).load()
+        assert len(records) == 1
+        assert records[0].spec["runs"] == 2          # the override won
+        assert len(records[0].evaluations) == 2
+        assert "stored run record" in capsys.readouterr().out
+
+    def test_flags_only_run(self, capsys):
+        assert main(["run", "--algorithm", "uniform", "--n", "200",
+                     "--d", "40", "--coreset-size", "50", "--seed", "1"]) == 0
+        assert "algorithm: uniform" in capsys.readouterr().out
+
+    def test_json_spec_run(self, tmp_path):
+        spec = api.ExperimentSpec(
+            pipeline=api.PipelineConfig(algorithm="uniform", k=2,
+                                        coreset_size=40),
+            data=api.DataSpec(name="mnist", n=200, d=30),
+            seed=2,
+        )
+        path = api.dump_spec(spec, tmp_path / "spec.json")
+        assert main(["run", str(path)]) == 0
+
+    def test_sweep_file_redirected(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(SWEEP_TOML)
+        with pytest.raises(SystemExit, match="repro sweep"):
+            main(["run", str(path)])
+
+    def test_run_parser_suppresses_defaults(self):
+        args = build_run_parser().parse_args(["spec.toml"])
+        assert not hasattr(args, "k")
+        assert not hasattr(args, "runs")
+
+
+class TestSweepSubcommand:
+    def test_sweep_end_to_end(self, tmp_path, capsys):
+        spec_path = tmp_path / "sweep.toml"
+        spec_path.write_text(SWEEP_TOML)
+        store_path = tmp_path / "results" / "sweep.jsonl"
+        assert main(["sweep", str(spec_path),
+                     "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "quantize_bits=8" in out and "quantize_bits=12" in out
+        records = api.ResultStore(store_path).load()
+        assert len(records) == 2
+        assert records[0].run_seeds == records[1].run_seeds  # paired seeds
+
+    def test_plain_spec_runs_as_one_cell(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.toml"
+        spec_path.write_text(SPEC_TOML)
+        assert main(["sweep", str(spec_path), "--store", ""]) == 0
+        assert "1 cell(s)" in capsys.readouterr().out
+
+    def test_sweep_parser_defaults(self):
+        args = build_sweep_parser().parse_args(["sweep.toml"])
+        assert args.store == "results/sweep.jsonl"
+        assert args.jobs is None
+
+
+class TestReportSubcommand:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        spec_path = tmp_path / "sweep.toml"
+        spec_path.write_text(SWEEP_TOML)
+        store_path = tmp_path / "sweep.jsonl"
+        main(["sweep", str(spec_path), "--store", str(store_path)])
+        return store_path
+
+    def test_report_table(self, store_path, capsys):
+        capsys.readouterr()
+        assert main(["report", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_normalized_cost" in out
+        assert "quantize_bits=8" in out
+
+    def test_report_cdf(self, store_path, capsys):
+        capsys.readouterr()
+        assert main(["report", str(store_path),
+                     "--cdf", "normalized_cost"]) == 0
+        out = capsys.readouterr().out
+        assert "empirical CDF" in out
+        assert "@1.00" in out
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "none.jsonl")]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_report_unknown_cdf_metric(self, store_path):
+        with pytest.raises(SystemExit, match="normalized_cost"):
+            main(["report", str(store_path), "--cdf", "bogus_metric"])
+
+    def test_report_parser_defaults(self):
+        args = build_report_parser().parse_args(["store.jsonl"])
+        assert args.cdf is None
+        assert "mean_normalized_cost" in args.metrics
+
+
+class TestCleanCliErrors:
+    """User input mistakes must exit with a one-line message, not a
+    traceback (code-review regression tests)."""
+
+    def test_missing_spec_file(self):
+        with pytest.raises(SystemExit, match="cannot read spec file"):
+            main(["run", "/nonexistent/spec.toml"])
+
+    def test_malformed_spec_file(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("this is not = [valid toml\n")
+        with pytest.raises(SystemExit, match="invalid spec"):
+            main(["run", str(path)])
+
+    def test_invalid_spec_values(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"pipeline": {"algorithm": "fss", "k": 0}}
+        ))
+        with pytest.raises(SystemExit, match="invalid spec"):
+            main(["run", str(path)])
+
+    def test_invalid_flag_override_over_spec(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(SPEC_TOML)
+        with pytest.raises(SystemExit, match="invalid override"):
+            main(["run", str(path), "--loss", "1.5"])
+
+    def test_invalid_flags_only_run(self):
+        with pytest.raises(SystemExit, match="invalid experiment flags"):
+            main(["run", "--algorithm", "fss", "--k", "0"])
+
+    def test_sweep_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read spec file"):
+            main(["sweep", "/nonexistent/sweep.toml"])
+
+    def test_typed_kind_foreign_knob_flag_rejected(self):
+        # fss is single-source; an explicitly typed --total-samples must
+        # raise, not be silently dropped (the original footgun).
+        with pytest.raises(SystemExit, match="total_samples"):
+            main(["run", "--algorithm", "fss", "--total-samples", "99"])
+
+    def test_report_unknown_metrics_column(self, tmp_path):
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.append(api.RunRecord(
+            algorithm="fss", spec={"pipeline": {"algorithm": "fss", "k": 2}},
+            summary={"mean_normalized_cost": 1.0},
+        ))
+        with pytest.raises(SystemExit, match="available"):
+            main(["report", str(store.path), "--metrics", "bogus"])
+
+    def test_sweep_cell_expansion_error(self, tmp_path):
+        # Loads fine, fails at expansion: algorithm axis sweeps onto a
+        # multi-source kind but the base has no num_sources.
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            "[base.pipeline]\nalgorithm = \"jl-fss\"\nk = 2\n"
+            "[base.data]\nname = \"mnist\"\nn = 200\nd = 30\n"
+            "[axes]\nalgorithm = [\"bklw\"]\n"
+        )
+        with pytest.raises(SystemExit, match="invalid sweep"):
+            main(["sweep", str(path)])
+
+    def test_cdf_rejects_non_numeric_metric(self, tmp_path):
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.append(api.RunRecord(
+            algorithm="fss", spec={"pipeline": {"algorithm": "fss", "k": 2}},
+            summary={"mean_normalized_cost": 1.0},
+            evaluations=({"algorithm": "FSS", "normalized_cost": 1.0},),
+        ))
+        with pytest.raises(SystemExit, match="not a numeric per-run metric"):
+            main(["report", str(store.path), "--cdf", "algorithm"])
+
+    def test_toml_spec_without_tomllib(self, tmp_path, monkeypatch):
+        # On Python < 3.11 load_spec raises RuntimeError for .toml files;
+        # the CLI must turn that into a clean exit, not a traceback.
+        from repro.api import serialization
+        monkeypatch.setattr(serialization, "tomllib", None)
+        path = tmp_path / "spec.toml"
+        path.write_text(SPEC_TOML)
+        with pytest.raises(SystemExit, match="cannot load spec"):
+            main(["run", str(path)])
+
+    def test_cdf_skips_records_without_evaluations(self, tmp_path, capsys):
+        store = api.ResultStore(tmp_path / "store.jsonl")
+        store.append(api.RunRecord(
+            algorithm="fss", spec={"pipeline": {"algorithm": "fss", "k": 2}},
+            summary={"mean_normalized_cost": 1.0,
+                     "mean_normalized_communication": 0.1,
+                     "mean_source_seconds": 0.0},
+        ))
+        assert main(["report", str(store.path),
+                     "--cdf", "normalized_cost"]) == 0
+        assert "no per-run evaluations" in capsys.readouterr().out

@@ -70,6 +70,24 @@ class TestExperimentResultAggregation:
         with pytest.raises(KeyError):
             result.metric_samples("nope", "normalized_cost")
 
+    def test_missing_label_error_lists_available(self, context):
+        result = ExperimentResult()
+        report = JLFSSPipeline(k=3, seed=0, coreset_size=100).run(context.points)
+        result.add("JL+FSS", evaluate_report(report, context))
+        with pytest.raises(KeyError, match="JL\\+FSS"):
+            result.metric_samples("nope", "normalized_cost")
+
+    def test_unknown_metric_error_lists_available(self, context):
+        # A typo used to surface as a bare AttributeError from getattr;
+        # now it's a KeyError naming the valid metric fields.
+        result = ExperimentResult()
+        report = JLFSSPipeline(k=3, seed=0, coreset_size=100).run(context.points)
+        result.add("JL+FSS", evaluate_report(report, context))
+        with pytest.raises(KeyError, match="normalized_cost"):
+            result.metric_samples("JL+FSS", "normalised_cost")
+        with pytest.raises(KeyError, match="normalized_communication"):
+            result.table("bits")
+
 
 class TestExperimentRunner:
     def test_single_source_runs(self, high_dim_blobs):

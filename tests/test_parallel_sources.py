@@ -178,6 +178,7 @@ class TestRegistryJobsKnob:
         assert engine.jobs == 2
 
     def test_single_source_factory_ignores_jobs(self):
-        # Single-source pipelines have one source; the knob is filtered out.
-        pipeline = create_pipeline("fss", k=2, jobs=4)
+        # Single-source pipelines have one source; the knob is filtered out
+        # (deliberate lenient filtering; strict=True would raise).
+        pipeline = create_pipeline("fss", k=2, jobs=4, strict=False)
         assert pipeline is not None

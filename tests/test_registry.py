@@ -35,12 +35,36 @@ class TestRegistry:
 
     def test_create_filters_foreign_kwargs(self):
         # A merged experiment config passes both kinds' arguments; each
-        # factory receives only what it accepts.
+        # factory receives only what it accepts (strict=False opts into
+        # lenient filtering without the deprecation warning).
         pipeline = registry.create_pipeline(
-            "bklw", k=2, seed=0, coreset_size=50, total_samples=40,
-            second_jl_dimension=5,
+            "bklw", strict=False, k=2, seed=0, coreset_size=50,
+            total_samples=40, second_jl_dimension=5,
         )
         assert pipeline.total_samples == 40
+
+    def test_create_strict_rejects_unknown_kwargs(self):
+        # The silent-kwarg-drop footgun: a typo like jl_dim=20 used to run
+        # the wrong experiment without a warning.  strict=True names the
+        # unknown keys and the accepted set for the kind.
+        with pytest.raises(TypeError) as excinfo:
+            registry.create_pipeline("jl-fss", k=2, jl_dim=20, strict=True)
+        message = str(excinfo.value)
+        assert "jl_dim" in message
+        assert "jl_dimension" in message  # the accepted set is listed
+        assert "single-source" in message
+
+    def test_create_lenient_default_warns(self):
+        with pytest.warns(DeprecationWarning, match="jl_dim"):
+            registry.create_pipeline("jl-fss", k=2, jl_dim=20)
+
+    def test_accepted_kwargs_and_kind(self):
+        assert registry.factory_kind("fss") == "single-source"
+        assert registry.factory_kind("bklw") == "multi-source"
+        assert registry.factory_kind("stream-fss") == "streaming"
+        assert "total_samples" in registry.accepted_kwargs("bklw")
+        assert "total_samples" not in registry.accepted_kwargs("fss")
+        assert "batch_size" in registry.accepted_kwargs("stream-fss")
 
     def test_unknown_name_lists_alternatives(self):
         with pytest.raises(KeyError, match="jl-fss"):
@@ -117,3 +141,22 @@ class TestRunRegistered:
                                   reference_n_init=2)
         with pytest.raises(ValueError, match="num_sources"):
             runner.run_registered(["bklw"])
+
+    def test_rejects_overrides_no_kind_accepts(self, high_dim_blobs):
+        points, _, _ = high_dim_blobs
+        runner = ExperimentRunner(points, k=3, monte_carlo_runs=1, seed=0,
+                                  reference_n_init=2)
+        with pytest.raises(TypeError, match="jl_dim"):
+            runner.run_registered(["jl-fss"], jl_dim=20)
+
+    def test_mixed_config_still_accepted_per_kind(self, high_dim_blobs):
+        # coreset_size (single-only) + total_samples (multi-only) in one
+        # merged config must not raise: each kind gets its own subset.
+        points, _, _ = high_dim_blobs
+        runner = ExperimentRunner(points, k=3, monte_carlo_runs=1, seed=0,
+                                  reference_n_init=2)
+        result = runner.run_registered(
+            ["fss", "bklw"], num_sources=3, coreset_size=60,
+            total_samples=60, pca_rank=6,
+        )
+        assert set(result.summary()) == {"fss", "bklw"}

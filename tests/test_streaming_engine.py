@@ -191,6 +191,7 @@ class TestRegistryIntegration:
         points, _ = mixture
         engine = registry.create_pipeline(
             "stream-jl-ss",
+            strict=False,
             k=3,
             coreset_size=50,
             jl_dimension=8,
