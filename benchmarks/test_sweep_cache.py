@@ -1,0 +1,118 @@
+"""Benchmark: content-addressed stage caching across sweep re-runs.
+
+Two cold/warm pairs, both recorded as rows in ``BENCH_sweep.json``
+(uploaded as a CI artifact so the trajectory is comparable across PRs):
+
+* the paper-style quantization sweep (examples/specs/
+  quantization_sweep.toml — 8 cells over quantize_bits × network) run
+  twice against one stage cache: the warm pass must be >50% cache hits
+  and strictly faster;
+* a larger multi-axis sweep whose source-side stage work (full-dimension
+  FSS on 4000×256) dominates the uncached floor (server solves +
+  evaluations): the warm pass must show a ≥2× wall-time reduction.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from bench_helpers import record_bench
+from repro import api
+
+SWEEP_SPEC = (
+    Path(__file__).resolve().parent.parent
+    / "examples" / "specs" / "quantization_sweep.toml"
+)
+
+
+def _timed_sweep(sweep, cache_dir):
+    """One sweep pass against a fresh StageCache handle (no memory-layer
+    carry-over between passes; only the on-disk entries persist)."""
+    cache = api.StageCache(cache_dir)
+    start = time.perf_counter()
+    outcomes = api.run_sweep(sweep, cache=cache)
+    return outcomes, time.perf_counter() - start, cache.counters
+
+
+def _row(outcomes, wall_seconds, counters):
+    mean_cost = sum(o.summary.mean_normalized_cost for o in outcomes) / len(outcomes)
+    return {
+        "cells": float(len(outcomes)),
+        "wall_seconds": float(wall_seconds),
+        "cache_hits": float(counters.hits),
+        "cache_misses": float(counters.misses),
+        "cache_hit_rate": float(counters.hit_rate),
+        "mean_normalized_cost": float(mean_cost),
+    }
+
+
+def _assert_bit_parity(cold, warm):
+    assert [o.cell_id for o in warm] == [o.cell_id for o in cold]
+    for a, b in zip(cold, warm):
+        assert a.summary.mean_normalized_cost == b.summary.mean_normalized_cost
+        assert a.summary.mean_normalized_communication == \
+            b.summary.mean_normalized_communication
+        assert a.run_seeds == b.run_seeds
+
+
+def test_example_quantization_sweep_warm_rerun(tmp_path):
+    """The CI contract: re-running the example sweep is >50% hits and faster."""
+    sweep = api.load_spec(SWEEP_SPEC)
+    assert isinstance(sweep, api.SweepSpec)
+    cache_dir = tmp_path / "stage_cache"
+
+    cold, cold_seconds, cold_counters = _timed_sweep(sweep, cache_dir)
+    warm, warm_seconds, warm_counters = _timed_sweep(sweep, cache_dir)
+
+    print(f"\n{SWEEP_SPEC.name}: {len(cold)} cells")
+    print(f"cold: {cold_seconds:.3f}s, {cold_counters.hits} hit(s), "
+          f"{cold_counters.misses} miss(es)")
+    print(f"warm: {warm_seconds:.3f}s, {warm_counters.hits} hit(s), "
+          f"{warm_counters.misses} miss(es) "
+          f"({cold_seconds / warm_seconds:.1f}x speedup)")
+    record_bench("sweep", {
+        "quantization_sweep_cold": _row(cold, cold_seconds, cold_counters),
+        "quantization_sweep_warm": _row(warm, warm_seconds, warm_counters),
+    })
+
+    _assert_bit_parity(cold, warm)
+    assert warm_counters.hit_rate > 0.5
+    assert warm_counters.misses == 0
+    assert warm_seconds < cold_seconds
+
+
+def test_multi_axis_sweep_speedup(tmp_path):
+    """The acceptance bar: a multi-axis sweep re-runs at least 2x faster
+    warm, because the expensive distinct work — full-dimension FSS per
+    Monte-Carlo run plus the shared reference solve — replays from cache
+    and only the uncached floor (server solves, evaluations) remains."""
+    base = api.ExperimentSpec(
+        pipeline=api.PipelineConfig(algorithm="fss", k=2,
+                                    coreset_size=150, pca_rank=20),
+        data=api.DataSpec(name="mnist", n=4000, d=256),
+        runs=3,
+        seed=11,
+    )
+    sweep = api.SweepSpec(base=base, axes={
+        "quantize_bits": [6, 10, 14],
+        "net": ["ideal", "lossy"],
+    })
+    cache_dir = tmp_path / "stage_cache"
+
+    cold, cold_seconds, cold_counters = _timed_sweep(sweep, cache_dir)
+    warm, warm_seconds, warm_counters = _timed_sweep(sweep, cache_dir)
+
+    print(f"\nmulti-axis fss sweep: {len(cold)} cells")
+    print(f"cold: {cold_seconds:.3f}s, {cold_counters.misses} distinct "
+          f"computation(s)")
+    print(f"warm: {warm_seconds:.3f}s "
+          f"({cold_seconds / warm_seconds:.1f}x speedup)")
+    record_bench("sweep", {
+        "multi_axis_cold": _row(cold, cold_seconds, cold_counters),
+        "multi_axis_warm": _row(warm, warm_seconds, warm_counters),
+    })
+
+    _assert_bit_parity(cold, warm)
+    assert warm_counters.misses == 0
+    assert cold_seconds / warm_seconds >= 2.0

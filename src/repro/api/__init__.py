@@ -25,6 +25,7 @@ rebuilt CLI: ``repro run spec.toml``, ``repro sweep sweep.toml``,
 
 from repro.api.runner import ExperimentOutcome, run_experiment, run_sweep
 from repro.api.serialization import dump_spec, dumps_toml, load_spec, spec_from_dict
+from repro.core.cache import CacheStats, StageCache, StageCacheView
 from repro.api.specs import (
     DATASET_NAMES,
     PARTITION_STRATEGIES,
@@ -70,6 +71,9 @@ __all__ = [
     "run_experiment",
     "run_sweep",
     "ExperimentOutcome",
+    "StageCache",
+    "StageCacheView",
+    "CacheStats",
     "ResultStore",
     "RunRecord",
     "ComparisonTable",

@@ -10,24 +10,41 @@ cell with *paired* Monte-Carlo seeds and one shared reference solution per
 ``(dataset, k)`` group, optionally fanning cells out over a thread pool
 and appending each cell's :class:`~repro.api.store.RunRecord` to a
 :class:`~repro.api.store.ResultStore`.
+
+With ``cache=`` the sweep resolves single-source stage executions through
+a content-addressed :class:`~repro.core.cache.StageCache`: cells sharing a
+stage-chain prefix (paired seeds make them common — every quantization
+level reuses one compression, every network condition reuses everything)
+cost their distinct work, not their cell count.  Cells are *executed* in
+prefix-grouped order to maximize sharing but always *returned* in grid
+order; outputs are bit-identical with the cache on or off, warm or cold.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.api.specs import ExperimentSpec, SweepCell, SweepSpec
 from repro.api.store import ResultStore, RunRecord, provenance
+from repro.core.cache import (
+    StageCache,
+    StageCacheView,
+    pack_reference,
+    unpack_reference,
+)
 from repro.metrics.evaluation import EvaluationContext, PipelineEvaluation
 from repro.metrics.experiment import (
     AlgorithmSummary,
     ExperimentResult,
     ExperimentRunner,
 )
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import parallel_map, resolve_jobs
 from repro.utils.random import as_generator, derive_seed
 
 
@@ -42,6 +59,9 @@ class ExperimentOutcome:
     run_seeds: Tuple[int, ...]
     dataset: Any = None  # the DatasetSpec describing the generated matrix
     cell_id: Optional[str] = None
+    #: Stage-cache accounting for this cell (hits/misses/stored/corrupt);
+    #: empty when the cell ran uncached.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def evaluations(self) -> List[PipelineEvaluation]:
@@ -58,6 +78,7 @@ class ExperimentOutcome:
             run_seeds=self.run_seeds,
             cell_id=self.cell_id,
             provenance=provenance() if stamp is None else stamp,
+            cache=dict(self.cache_stats),
         )
 
 
@@ -75,13 +96,17 @@ def run_experiment(
     context: Optional[EvaluationContext] = None,
     reference_n_init: int = 10,
     cell_id: Optional[str] = None,
+    stage_cache: Optional[Union[StageCache, StageCacheView]] = None,
 ) -> ExperimentOutcome:
     """Run one experiment spec end-to-end.
 
     ``points``/``dataset``/``context`` let the sweep runner share generated
     data and reference solutions across cells; results are identical with
     or without them because the runner's seed stream is independent of
-    whether the reference solve is cached.
+    whether the reference solve is cached.  ``stage_cache`` memoizes stage
+    outputs for single-source pipelines (the only kind that accepts it —
+    other kinds simply run uncached); outcomes are bit-identical either
+    way, and the outcome's ``cache_stats`` records this call's hits/misses.
     """
     if points is None:
         points, dataset = spec.data.load(spec.seed)
@@ -94,11 +119,18 @@ def run_experiment(
         context=context,
     )
     label = spec.pipeline.algorithm
+    cache_view: Optional[StageCacheView] = None
+    extra: Dict[str, Any] = {}
+    if stage_cache is not None and spec.pipeline.kind == "single-source":
+        cache_view = (stage_cache.view() if isinstance(stage_cache, StageCache)
+                      else stage_cache)
+        extra["stage_cache"] = cache_view
     result = runner.run_registered(
         [label],
         num_sources=spec.num_sources,
         strategy=spec.strategy,
         **spec.overrides(),
+        **extra,
     )
     return ExperimentOutcome(
         spec=spec,
@@ -108,7 +140,35 @@ def run_experiment(
         run_seeds=tuple(runner.run_seeds),
         dataset=dataset,
         cell_id=cell_id,
+        cache_stats={} if cache_view is None else cache_view.counters.as_dict(),
     )
+
+
+def _prefix_signature(cell: SweepCell) -> str:
+    """Grouping key for cache-friendly execution order.
+
+    Cells with equal signatures share their entire pre-wire stage chain:
+    everything except the network section (network randomness never touches
+    the pipeline's master generator) and ``quantize_bits`` (quantization is
+    applied on send, after the cached stages).  Executing a group
+    adjacently keeps its entries warm in the cache's memory layer, and
+    under ``jobs > 1`` racing group members dedupe on the per-key locks.
+    """
+    spec = cell.spec
+    pipeline = spec.pipeline.to_dict()
+    pipeline.pop("quantize_bits", None)
+    return json.dumps(
+        [list(spec.data.cache_key(spec.seed)), pipeline, spec.seed, spec.runs],
+        sort_keys=True, default=str,
+    )
+
+
+def _resolve_cache(
+    cache: Optional[Union[StageCache, str, Path]]
+) -> Optional[StageCache]:
+    if cache is None or isinstance(cache, StageCache):
+        return cache
+    return StageCache(cache)
 
 
 def run_sweep(
@@ -117,6 +177,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     reference_n_init: int = 10,
+    cache: Optional[Union[StageCache, str, Path]] = None,
 ) -> List[ExperimentOutcome]:
     """Execute every cell of a sweep grid.
 
@@ -124,14 +185,25 @@ def run_sweep(
     ``(dataset, k, seed)`` group and shared across the group's cells, so
     cells differing only in tuning knobs are judged against identical
     reference centers — the paper's paired-comparison methodology.  With
-    ``jobs > 1`` cells run on a thread pool (cells are independent; the
-    heavy work is GIL-releasing BLAS).  When ``store`` is given, every
-    cell's record is appended in grid order after execution.
+    ``jobs > 1`` cells run on one hoisted thread pool (cells are
+    independent; the heavy work is GIL-releasing BLAS).  When ``store`` is
+    given, every cell's record is appended in grid order after execution.
+
+    ``cache`` — a :class:`~repro.core.cache.StageCache` or a directory path
+    to build one from — memoizes stage outputs and reference solutions
+    across cells *and* across sweep invocations: a warm re-run costs its
+    distinct-prefix count, not its cell count, and is bit-identical to a
+    cold one.  Cells are executed grouped by stage-chain prefix to maximize
+    sharing, but the returned list (and the persisted records) always
+    follow grid order.
     """
     cells = sweep.cells()
+    stage_cache = _resolve_cache(cache)
 
     # Generate each unique dataset once, and solve each unique reference
     # problem once, serially — the parallel phase then only reads them.
+    # With a cache, reference solutions persist across invocations too
+    # (they dominate warm-sweep time otherwise).
     points_cache: Dict[Tuple, Tuple[np.ndarray, Any]] = {}
     context_cache: Dict[Tuple, EvaluationContext] = {}
     for cell in cells:
@@ -142,11 +214,12 @@ def run_sweep(
         context_key = data_key + (spec.pipeline.k, spec.seed, reference_n_init)
         if context_key not in context_cache:
             points, _ = points_cache[data_key]
-            context_cache[context_key] = EvaluationContext.build(
+            context_cache[context_key] = _build_reference_context(
                 points,
                 spec.pipeline.k,
-                n_init=reference_n_init,
-                seed=_reference_seed(spec.seed),
+                reference_n_init,
+                _reference_seed(spec.seed),
+                stage_cache,
             )
 
     def execute(cell: SweepCell) -> ExperimentOutcome:
@@ -161,14 +234,59 @@ def run_sweep(
             context=context,
             reference_n_init=reference_n_init,
             cell_id=cell.cell_id,
+            stage_cache=None if stage_cache is None else stage_cache.view(),
         )
 
-    outcomes = parallel_map(execute, cells, jobs=jobs)
+    # Execute grouped by prefix signature (stable within a group), return
+    # in grid order.
+    ordered = sorted(cells, key=lambda cell: (_prefix_signature(cell), cell.index))
+    workers = resolve_jobs(jobs)
+    if workers > 1 and len(ordered) > 1:
+        # Satellite of the caching work: one pool hoisted across the whole
+        # sweep instead of a fresh pool inside every parallel_map call.
+        with ThreadPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+            executed = parallel_map(execute, ordered, executor=pool)
+    else:
+        executed = parallel_map(execute, ordered, jobs=1)
+    outcomes = [outcome for _, outcome in
+                sorted(zip(ordered, executed), key=lambda pair: pair[0].index)]
+
     if store is not None:
         stamp = provenance()
         for outcome in outcomes:
             store.append(outcome.to_record(stamp))
     return outcomes
+
+
+def _build_reference_context(
+    points: np.ndarray,
+    k: int,
+    n_init: int,
+    seed: int,
+    stage_cache: Optional[StageCache],
+) -> EvaluationContext:
+    """Build (or load) the shared reference solution for a cell group."""
+    if stage_cache is None:
+        return EvaluationContext.build(points, k, n_init=n_init, seed=seed)
+    key = stage_cache.reference_key(points, k, n_init, seed)
+    payload = stage_cache.lookup(key)
+    if payload is not None:
+        stage_cache.count_hit()
+        centers, cost = unpack_reference(payload)
+        return EvaluationContext(
+            points=points, reference_centers=centers, reference_cost=cost
+        )
+    context = EvaluationContext.build(points, k, n_init=n_init, seed=seed)
+    stored = False
+    try:
+        stage_cache.store(
+            key, pack_reference(context.reference_centers, context.reference_cost)
+        )
+        stored = True
+    except OSError:
+        pass
+    stage_cache.count_miss(stored=stored)
+    return context
 
 
 __all__ = ["ExperimentOutcome", "run_experiment", "run_sweep"]

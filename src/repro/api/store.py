@@ -80,6 +80,9 @@ class RunRecord:
     cell_id: Optional[str] = None
     spec_hash: str = ""
     provenance: Dict[str, Any] = field(default_factory=dict)
+    #: Stage-cache accounting for the cell (hits/misses/stored/corrupt);
+    #: empty when the cell ran uncached.
+    cache: Dict[str, Any] = field(default_factory=dict)
     version: int = STORE_VERSION
 
     def __post_init__(self) -> None:
@@ -127,6 +130,7 @@ class RunRecord:
             "summary": self.summary,
             "evaluations": [dict(e) for e in self.evaluations],
             "provenance": self.provenance,
+            "cache": dict(self.cache),
         }
 
     @classmethod

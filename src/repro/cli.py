@@ -14,6 +14,8 @@ Example invocations::
     repro sweep examples/specs/quantization_sweep.toml --store results/sweep.jsonl
     repro report results/sweep.jsonl --cdf normalized_cost
     repro stream --algorithm stream-fss --batch-size 512 --query-every 4
+    repro cache stats                                 # sweep stage cache
+    repro cache gc --max-bytes 100000000
 
     # legacy flat form (kept working via the spec adapter):
     python -m repro --dataset mnist --algorithm jl-fss-jl --k 2
@@ -46,6 +48,12 @@ from repro.core import registry
 from repro.datasets import load_benchmark_dataset
 from repro.distributed.conditions import FaultPlan, NetworkCondition
 from repro.quantization.rounding import RoundingQuantizer
+
+
+#: Where `repro sweep` keeps its stage cache unless --cache-dir overrides it
+#: (beside the default result store, and ignored by git like the rest of
+#: results/).
+DEFAULT_CACHE_DIR = "results/stage_cache"
 
 
 def _algorithms() -> Dict[str, tuple]:
@@ -385,6 +393,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="cells executed concurrently (1 = sequential, "
                              "0 = all cores; results are identical either way)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="memoize stage outputs and reference solutions "
+                             "in a content-addressed cache so repeated "
+                             "prefixes cost nothing; results are bit-identical "
+                             "either way (default: on)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help=f"stage cache directory (default: {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -403,8 +419,16 @@ def run_sweep(args: argparse.Namespace) -> Dict[str, float]:
           f"{len(loaded.axes)} axis/axes "
           f"({', '.join(name for name, _ in loaded.axes) or 'none'})")
     store = api.ResultStore(args.store) if args.store else None
-    outcomes = api.run_sweep(loaded, jobs=args.jobs, store=store)
+    cache = api.StageCache(args.cache_dir) if getattr(args, "cache", False) else None
+    outcomes = api.run_sweep(loaded, jobs=args.jobs, store=store, cache=cache)
     print(api.compare_outcomes(outcomes))
+    if cache is not None:
+        counters = cache.counters
+        cells_hit = sum(1 for o in outcomes if o.cache_stats.get("hits"))
+        print(f"stage cache [{args.cache_dir}]: {counters.hits} hit(s), "
+              f"{counters.misses} miss(es) "
+              f"({counters.hit_rate:.0%} hit rate; {cells_hit}/{len(outcomes)} "
+              f"cell(s) reused cached stages)")
     if store is not None:
         print(f"stored {len(outcomes)} run record(s) -> {store.path}")
     return {"cells": float(len(outcomes))}
@@ -478,6 +502,44 @@ def run_report(args: argparse.Namespace) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# `repro cache`: inspect and prune the sweep stage cache.
+# ---------------------------------------------------------------------------
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro cache`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or prune the content-addressed stage cache "
+                    "written by `repro sweep`.",
+    )
+    parser.add_argument("action", choices=("stats", "gc"),
+                        help="stats: print entry count and size; gc: evict "
+                             "oldest entries down to --max-bytes")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help=f"stage cache directory (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--max-bytes", type=int, default=0, metavar="N",
+                        help="gc: cache size to shrink to, oldest entries "
+                             "first (default 0: remove every entry)")
+    return parser
+
+
+def run_cache(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro cache stats|gc``."""
+    cache = api.StageCache(args.cache_dir)
+    if args.action == "gc":
+        if args.max_bytes < 0:
+            raise SystemExit("--max-bytes must be >= 0")
+        removed, freed = cache.gc(args.max_bytes)
+        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({freed} bytes) from {args.cache_dir}")
+    stats = cache.stats()
+    print(f"stage cache [{stats.directory}]: {stats.entries} "
+          f"entr{'y' if stats.entries == 1 else 'ies'}, "
+          f"{stats.total_bytes} bytes")
+    return {"entries": float(stats.entries), "bytes": float(stats.total_bytes)}
+
+
+# ---------------------------------------------------------------------------
 # The `stream` subcommand: batched arrivals + continuous queries.
 # ---------------------------------------------------------------------------
 
@@ -538,21 +600,25 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
     quantizer: Optional[RoundingQuantizer] = None
     if args.quantize_bits is not None and args.quantize_bits < 53:
         quantizer = RoundingQuantizer(args.quantize_bits)
-    engine = registry.create_pipeline(
-        args.algorithm,
-        k=args.k,
-        coreset_size=args.coreset_size,
-        pca_rank=args.pca_rank,
-        jl_dimension=args.jl_dimension,
-        quantizer=quantizer,
-        batch_size=args.batch_size,
-        window=args.window,
-        query_every=args.query_every,
-        seed=args.seed,
-        jobs=getattr(args, "jobs", None),
-        strict=True,
-        **_network_settings(args),
-    )
+    try:
+        # create_pipeline is strict by default: a knob the composition does
+        # not accept is an error, not a silent drop.
+        engine = registry.create_pipeline(
+            args.algorithm,
+            k=args.k,
+            coreset_size=args.coreset_size,
+            pca_rank=args.pca_rank,
+            jl_dimension=args.jl_dimension,
+            quantizer=quantizer,
+            batch_size=args.batch_size,
+            window=args.window,
+            query_every=args.query_every,
+            seed=args.seed,
+            jobs=getattr(args, "jobs", None),
+            **_network_settings(args),
+        )
+    except TypeError as exc:
+        raise SystemExit(f"invalid flags for {args.algorithm}: {exc}") from None
     print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
           f"k={args.k}, sources={args.sources}, batch={args.batch_size}, "
           f"window={engine.window if engine.window is not None else 'none'}")
@@ -591,6 +657,7 @@ _SUBCOMMANDS = {
     "sweep": (build_sweep_parser, run_sweep),
     "report": (build_report_parser, run_report),
     "stream": (build_stream_parser, run_stream),
+    "cache": (build_cache_parser, run_cache),
 }
 
 

@@ -1,0 +1,565 @@
+"""Content-addressed caching of intermediate stage outputs.
+
+A paper-scale sweep is a grid of algorithms × datasets × tuning knobs ×
+network conditions, and its cells overwhelmingly share work: every
+``quantize_bits`` setting reuses the same compressed coreset (quantization
+is applied on send, after the stage chain), every network condition reuses
+the same summary (network randomness never touches the pipeline's master
+generator), and every algorithm sharing a JL prefix reuses the same
+projection.  :class:`StageCache` makes that sharing explicit: each stage
+invocation is addressed by a *prefix key*
+
+    ``key_i = H(key_{i-1}, stage fingerprint, shared seed, rng position)``
+
+rooted in a content digest of the input matrix and the clustering
+parameters ``(k, epsilon, delta)``.  Because the key chain includes the
+master generator's bit-generator state at the stage's position, two cells
+share an entry exactly when the stage would compute bit-identical output —
+same upstream bytes, same configuration, same seed stream.
+
+Cache semantics
+---------------
+* **Hits are bit-exact.**  Stage outputs (coreset points/weights/shift,
+  projected matrices, fitted subspace bases) are float64 arrays persisted
+  via ``npz``, which round-trips exactly; on a hit the engine burns the
+  same number of master-generator draws the stage would have consumed
+  (recorded per entry), so every downstream draw — later stages, the
+  server solver seed — is bit-identical to a cache-cold run.
+* **Concurrent cells dedupe.**  A per-key in-process lock makes racing
+  cells compute a missing entry once (the first computes, the rest block
+  and hit); on disk, entries are written to a temp file and atomically
+  renamed, so a concurrent *process* can at worst double-compute, never
+  observe a torn file.
+* **Corruption recovers.**  An unreadable entry is deleted, counted in
+  ``corrupt``, and recomputed — never raised to the caller.
+* **Eviction is size-capped.**  :meth:`gc` deletes oldest-first (mtime)
+  until the directory fits the byte budget (``repro cache gc``).
+
+The cache directory lives beside the JSONL result store by convention
+(``results/stage_cache/``) and is never committed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import weakref
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.stages.base import SourceState, StageEffect
+
+#: Entry layout version; bumped on incompatible payload changes (old
+#: entries then simply miss and are recomputed).
+CACHE_VERSION = 1
+
+#: Default in-memory payload budget (bytes).  The disk directory is the
+#: source of truth; the memory layer only short-circuits repeated reads of
+#: the same entry within one sweep process.
+DEFAULT_MEMORY_BYTES = 256 * 1024 * 1024
+
+#: Exceptions that mark an entry as corrupt rather than a bug: truncated
+#: zip members, missing keys, bad dtypes, filesystem races.
+_CORRUPT_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+
+# ---------------------------------------------------------------------------
+# Content digests.
+# ---------------------------------------------------------------------------
+
+#: id(array) -> (weakref, shape, dtype, digest).  Sweeps hand the same
+#: dataset object to every cell and every Monte-Carlo run; hashing ~40MB of
+#: float64 once instead of once per run keeps root-key derivation out of
+#: the profile.  The weakref guards against id() reuse after collection.
+_DIGEST_MEMO: Dict[int, Tuple[Any, Tuple[int, ...], str, str]] = {}
+_DIGEST_LOCK = threading.Lock()
+
+
+def content_digest(array: np.ndarray) -> str:
+    """Stable sha256 digest of an array's dtype, shape, and bytes."""
+    key = id(array)
+    with _DIGEST_LOCK:
+        memo = _DIGEST_MEMO.get(key)
+        if memo is not None:
+            ref, shape, dtype, digest = memo
+            if ref() is array and array.shape == shape and array.dtype.str == dtype:
+                return digest
+    hasher = hashlib.sha256()
+    hasher.update(array.dtype.str.encode("ascii"))
+    hasher.update(repr(array.shape).encode("ascii"))
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    digest = hasher.hexdigest()
+    try:
+        ref = weakref.ref(array)
+    except TypeError:  # pragma: no cover - exotic array subclasses
+        return digest
+    with _DIGEST_LOCK:
+        if len(_DIGEST_MEMO) > 64:
+            _DIGEST_MEMO.clear()
+        _DIGEST_MEMO[key] = (ref, array.shape, array.dtype.str, digest)
+    return digest
+
+
+def _digest_parts(*parts: Any) -> str:
+    """sha256 over a canonical JSON encoding of ``parts``."""
+    canonical = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def rng_position(rng: np.random.Generator) -> str:
+    """Digest of a generator's bit-generator state — the *position* in the
+    master seed stream.  Two pipelines at the same position will draw the
+    same values, which is what makes the position a valid key component."""
+    state = rng.bit_generator.state
+    return _digest_parts(state)[:32]
+
+
+# ---------------------------------------------------------------------------
+# Counters and statistics.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting (one shared instance per cache, one per view)."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "corrupt": self.corrupt,
+        }
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of the cache directory plus the live counters."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CachedSubspace:
+    """The persisted identity of a fitted PCA-like map: exactly the fields
+    the wire format and downstream stages consume (basis + rank)."""
+
+    basis: np.ndarray
+    effective_rank: int
+
+
+# ---------------------------------------------------------------------------
+# The cache proper.
+# ---------------------------------------------------------------------------
+
+class StageCache:
+    """Content-addressed, persisted memoization of stage outputs.
+
+    Parameters
+    ----------
+    directory:
+        Where ``<key>.npz`` entries live (created lazily on first store).
+    memory_bytes:
+        Budget of the in-process payload layer (0 disables it).
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES) -> None:
+        self.directory = Path(directory)
+        self.counters = CacheCounters()
+        self._memory_bytes = int(memory_bytes)
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memory_used = 0
+        self._lock = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
+
+    # -------------------------------------------------------------- views
+    def view(self) -> "StageCacheView":
+        """A per-cell handle sharing this cache's storage but counting its
+        own hits/misses (the sweep runner attributes cache statistics to
+        individual cells this way)."""
+        return StageCacheView(self)
+
+    # --------------------------------------------------------------- keys
+    def root_key(self, points: np.ndarray, k: int, epsilon: float,
+                 delta: float) -> str:
+        """Key of the raw input: content digest + clustering parameters
+        (stages derive default sizes from ``k``/``epsilon``/``delta``)."""
+        return _digest_parts(
+            "root", CACHE_VERSION, content_digest(points),
+            int(k), float(epsilon), float(delta),
+        )
+
+    def chain_key(self, parent: str, stage: Any,
+                  rng: np.random.Generator) -> str:
+        """Extend a prefix key by one stage invocation.
+
+        The key covers the stage's configuration (:meth:`~repro.stages.
+        base.Stage.fingerprint`), its pre-shared seed when it performed a
+        handshake, and the master generator's position before the stage
+        runs — together these determine the stage's output bit-for-bit
+        given the upstream bytes already pinned by ``parent``.
+        """
+        shared = getattr(stage, "_shared_seed", None)
+        return _digest_parts(
+            parent, list(stage.fingerprint()),
+            None if shared is None else int(shared),
+            rng_position(rng),
+        )
+
+    def reference_key(self, points: np.ndarray, k: int, n_init: int,
+                      seed: int) -> str:
+        """Key of a reference k-means solution (the sweep runner caches
+        the shared evaluation denominator alongside stage outputs)."""
+        return _digest_parts(
+            "reference", CACHE_VERSION, content_digest(points),
+            int(k), int(n_init), int(seed),
+        )
+
+    # ------------------------------------------------------------ entries
+    def lookup(self, key: str,
+               counters: Optional[CacheCounters] = None) -> Optional[Dict[str, Any]]:
+        """Load a payload by key (memory layer first, then disk).  Returns
+        ``None`` on miss or corruption; counts neither hit nor miss — use
+        :meth:`count_hit` / :meth:`count_miss` from the caller once the
+        outcome is known (a payload that fails unpacking is still a miss).
+        """
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                return payload
+        path = self._entry_path(key)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                payload = {name: archive[name] for name in archive.files}
+            if int(payload["version"]) != CACHE_VERSION:
+                return None
+        except FileNotFoundError:
+            return None
+        except _CORRUPT_ERRORS:
+            self._discard_corrupt(path, counters)
+            return None
+        self._remember(key, payload)
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist a payload atomically (write-then-rename) and remember it
+        in the memory layer."""
+        payload = dict(payload)
+        payload["version"] = np.int64(CACHE_VERSION)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".npz", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_path, self._entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._remember(key, payload)
+
+    def key_lock(self, key: str) -> threading.Lock:
+        """The per-key lock concurrent cells serialize on, so a shared
+        prefix is computed once per process (dedupe, not double-compute)."""
+        with self._lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+    def count_hit(self, counters: Optional[CacheCounters] = None) -> None:
+        with self._lock:
+            self.counters.hits += 1
+            if counters is not None:
+                counters.hits += 1
+
+    def count_miss(self, counters: Optional[CacheCounters] = None,
+                   stored: bool = False) -> None:
+        with self._lock:
+            self.counters.misses += 1
+            if counters is not None:
+                counters.misses += 1
+            if stored:
+                self.counters.stored += 1
+                if counters is not None:
+                    counters.stored += 1
+
+    # ------------------------------------------------------ housekeeping
+    def stats(self) -> CacheStats:
+        """Entry count and byte total of the directory + live counters."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.npz"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+        return CacheStats(
+            directory=str(self.directory),
+            entries=entries,
+            total_bytes=total,
+            counters=self.counters.as_dict(),
+        )
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict oldest entries (by mtime) until the directory fits
+        ``max_bytes``.  Returns ``(removed_entries, freed_bytes)``."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if not self.directory.is_dir():
+            return (0, 0)
+        entries: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self.directory.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        if removed:
+            with self._lock:
+                self._memory.clear()
+                self._memory_used = 0
+        return (removed, freed)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.npz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        with self._lock:
+            self._memory.clear()
+            self._memory_used = 0
+        return removed
+
+    # ------------------------------------------------------------ internal
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        if self._memory_bytes <= 0:
+            return
+        size = sum(
+            value.nbytes for value in payload.values()
+            if isinstance(value, np.ndarray)
+        )
+        if size > self._memory_bytes:
+            return
+        with self._lock:
+            old = self._memory.pop(key, None)
+            if old is not None:
+                self._memory_used -= sum(
+                    v.nbytes for v in old.values() if isinstance(v, np.ndarray)
+                )
+            self._memory[key] = payload
+            self._memory_used += size
+            while self._memory_used > self._memory_bytes and self._memory:
+                _, evicted = self._memory.popitem(last=False)
+                self._memory_used -= sum(
+                    v.nbytes for v in evicted.values()
+                    if isinstance(v, np.ndarray)
+                )
+
+    def _discard_corrupt(self, path: Path,
+                         counters: Optional[CacheCounters]) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self.counters.corrupt += 1
+            if counters is not None:
+                counters.corrupt += 1
+
+
+class StageCacheView:
+    """A thin handle over a shared :class:`StageCache` with private
+    hit/miss counters — one per sweep cell, so per-cell cache statistics
+    are exact even when cells share one store across threads."""
+
+    def __init__(self, cache: StageCache) -> None:
+        self.cache = cache
+        self.counters = CacheCounters()
+
+    # Key derivation and storage delegate verbatim; only counting differs.
+    def root_key(self, *args, **kwargs) -> str:
+        return self.cache.root_key(*args, **kwargs)
+
+    def chain_key(self, *args, **kwargs) -> str:
+        return self.cache.chain_key(*args, **kwargs)
+
+    def reference_key(self, *args, **kwargs) -> str:
+        return self.cache.reference_key(*args, **kwargs)
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.cache.lookup(key, counters=self.counters)
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        self.cache.store(key, payload)
+
+    def key_lock(self, key: str) -> threading.Lock:
+        return self.cache.key_lock(key)
+
+    def count_hit(self) -> None:
+        self.cache.count_hit(self.counters)
+
+    def count_miss(self, stored: bool = False) -> None:
+        self.cache.count_miss(self.counters, stored=stored)
+
+
+CacheLike = Union[StageCache, StageCacheView]
+
+
+# ---------------------------------------------------------------------------
+# Stage-effect (de)serialization.
+# ---------------------------------------------------------------------------
+
+def pack_effect(effect: StageEffect, seed_draws: int) -> Dict[str, Any]:
+    """Flatten a :class:`StageEffect` into an npz-ready payload.
+
+    ``seed_draws`` is the number of master-generator draws the stage
+    consumed; a cache hit replays that many draws so downstream randomness
+    stays bit-identical to a cold run.
+    """
+    state = effect.state
+    payload: Dict[str, Any] = {
+        "points": state.points,
+        "shift": np.float64(state.shift),
+        "seed_draws": np.int64(seed_draws),
+        "has_lift": np.int64(effect.lift is not None),
+        "detail_keys": np.array(sorted(effect.details), dtype=str),
+        "detail_values": np.array(
+            [float(effect.details[k]) for k in sorted(effect.details)],
+            dtype=np.float64,
+        ),
+    }
+    if state.weights is not None:
+        payload["weights"] = state.weights
+    if state.subspace is not None:
+        payload["subspace_basis"] = np.asarray(state.subspace.basis)
+        payload["subspace_rank"] = np.int64(state.subspace.effective_rank)
+    return payload
+
+
+def unpack_effect(payload: Dict[str, Any], stage: Any,
+                  state_in: SourceState) -> Optional[Tuple[StageEffect, int]]:
+    """Rebuild ``(StageEffect, seed_draws)`` from a stored payload.
+
+    Arrays are copied so a downstream in-place transform (``PCAStage``
+    projects in place) can never poison the shared memory layer.  Returns
+    ``None`` when the entry cannot be honoured (e.g. a recorded lift the
+    stage cannot rebuild) — the caller then recomputes.
+    """
+    points = np.array(payload["points"])
+    weights = np.array(payload["weights"]) if "weights" in payload else None
+    subspace = None
+    if "subspace_basis" in payload:
+        subspace = CachedSubspace(
+            basis=np.array(payload["subspace_basis"]),
+            effective_rank=int(payload["subspace_rank"]),
+        )
+    lift = None
+    if int(payload["has_lift"]):
+        rebuild = getattr(stage, "rebuild_lift", None)
+        lift = rebuild(state_in.dimension, int(points.shape[1])) if rebuild else None
+        if lift is None:
+            return None
+    details = {
+        str(key): float(value)
+        for key, value in zip(payload["detail_keys"], payload["detail_values"])
+    }
+    state = state_in.evolve(
+        points=points,
+        weights=weights,
+        shift=float(payload["shift"]),
+        subspace=subspace,
+    )
+    return (
+        StageEffect(state=state, lift=lift, details=details),
+        int(payload["seed_draws"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference-solution entries (the sweep's shared evaluation denominator).
+# ---------------------------------------------------------------------------
+
+def pack_reference(centers: np.ndarray, cost: float) -> Dict[str, Any]:
+    return {
+        "reference_centers": np.asarray(centers),
+        "reference_cost": np.float64(cost),
+    }
+
+
+def unpack_reference(payload: Dict[str, Any]) -> Tuple[np.ndarray, float]:
+    return (
+        np.array(payload["reference_centers"]),
+        float(payload["reference_cost"]),
+    )
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheCounters",
+    "CacheStats",
+    "CachedSubspace",
+    "CacheLike",
+    "StageCache",
+    "StageCacheView",
+    "content_digest",
+    "rng_position",
+    "pack_effect",
+    "unpack_effect",
+    "pack_reference",
+    "unpack_reference",
+]

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cache import CacheLike, pack_effect, unpack_effect
 from repro.core.report import PipelineReport
 from repro.distributed.cluster import EdgeCluster
 from repro.distributed.conditions import (
@@ -54,7 +55,7 @@ from repro.distributed.network import SimulatedNetwork
 from repro.distributed.partition import partition_dataset
 from repro.kmeans.lloyd import WeightedKMeans
 from repro.quantization.rounding import RoundingQuantizer
-from repro.stages.base import SourceState, Stage, StageContext
+from repro.stages.base import SourceState, Stage, StageContext, StageEffect
 from repro.stages.distributed import DistributedStage, DistributedStageContext
 from repro.stages.qt import QuantizeStage
 from repro.utils.parallel import resolve_jobs
@@ -127,6 +128,23 @@ def encode_for_wire(state: SourceState) -> WireSummary:
     )
 
 
+class _MeteredContext(StageContext):
+    """A :class:`StageContext` that counts ``derive_seed`` draws.
+
+    The stage cache stores each stage's draw count so that a cache hit can
+    *burn* the same number of draws from the master generator — leaving
+    every downstream draw (later stages, the server solver seed)
+    bit-identical to a cache-cold run.  Deliberately not a dataclass: a new
+    defaulted field would disturb subclass field ordering.
+    """
+
+    draws: int = 0
+
+    def derive_seed(self) -> int:
+        self.draws += 1
+        return super().derive_seed()
+
+
 class StagePipeline:
     """Execute a composition of stages for a single data source.
 
@@ -164,6 +182,14 @@ class StagePipeline:
     network_seed:
         Override of the condition's loss/jitter seed (network randomness
         never touches the pipeline's master generator).
+    stage_cache:
+        Optional :class:`~repro.core.cache.StageCache` (or a per-cell
+        :class:`~repro.core.cache.StageCacheView`).  When set, every
+        ``cacheable`` stage is resolved through content-addressed
+        memoization: the stage's output is loaded from the cache when its
+        prefix key hits, and computed-then-stored otherwise.  Results are
+        bit-identical with and without the cache — hits replay the exact
+        number of master-generator draws the stage would have consumed.
     """
 
     #: Human-readable algorithm name; subclasses or ``name=`` override.
@@ -185,6 +211,7 @@ class StagePipeline:
         fault_plan: Optional[FaultPlan] = None,
         retries: Optional[int] = None,
         network_seed: Optional[int] = None,
+        stage_cache: Optional[CacheLike] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.epsilon = check_fraction(epsilon, "epsilon")
@@ -198,6 +225,7 @@ class StagePipeline:
             network
         ).with_overrides(retries=retries, seed=network_seed)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.stage_cache = stage_cache
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -248,7 +276,9 @@ class StagePipeline:
         network = SimulatedNetwork(
             condition=self.network_condition, fault_plan=self.fault_plan
         )
-        ctx = StageContext(
+        cache = self.stage_cache
+        context_cls = StageContext if cache is None else _MeteredContext
+        ctx = context_cls(
             k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
         )
         stages = self._wire_stages()
@@ -263,8 +293,21 @@ class StagePipeline:
         state = SourceState(points=points)
         lifts = []
         details: Dict[str, float] = {}
+        key = None if cache is None else cache.root_key(
+            points, self.k, self.epsilon, self.delta
+        )
         for stage in stages:
-            effect = stage.apply_at_source(state, ctx)
+            if cache is None:
+                effect = stage.apply_at_source(state, ctx)
+            else:
+                # The chain key is extended BEFORE the stage draws from the
+                # master generator: it covers the rng position the stage
+                # starts from, so equal keys guarantee equal outputs.
+                key = cache.chain_key(key, stage, ctx.rng)
+                if stage.cacheable:
+                    effect = self._cached_apply(cache, key, stage, state, ctx)
+                else:
+                    effect = stage.apply_at_source(state, ctx)
             state = effect.state
             if effect.lift is not None:
                 lifts.append(effect.lift)
@@ -304,6 +347,45 @@ class StagePipeline:
             tag_scalars=network.log.scalars_by_tag(),
         )
         return report.with_detail(**details)
+
+    def _cached_apply(
+        self,
+        cache: CacheLike,
+        key: str,
+        stage: Stage,
+        state: SourceState,
+        ctx: "_MeteredContext",
+    ) -> "StageEffect":
+        """Resolve one cacheable stage through the content-addressed cache.
+
+        The per-key lock makes concurrent cells racing on the same prefix
+        dedupe in-process: the first computes and stores, the rest block and
+        hit.  A stored entry that cannot be honoured (corrupt file, version
+        skew, unbuildable lift) falls through to recomputation — the cache
+        degrades to a slower run, never to a wrong or crashed one.
+        """
+        with cache.key_lock(key):
+            payload = cache.lookup(key)
+            if payload is not None:
+                rebuilt = unpack_effect(payload, stage, state)
+                if rebuilt is not None:
+                    effect, seed_draws = rebuilt
+                    # Burn the draws the stage would have consumed so every
+                    # downstream draw stays bit-identical to a cold run.
+                    for _ in range(seed_draws):
+                        ctx.derive_seed()
+                    cache.count_hit()
+                    return effect
+            draws_before = ctx.draws
+            effect = stage.apply_at_source(state, ctx)
+            stored = False
+            try:
+                cache.store(key, pack_effect(effect, ctx.draws - draws_before))
+                stored = True
+            except OSError:
+                pass  # unwritable cache directory: run uncached
+            cache.count_miss(stored=stored)
+            return effect
 
 
 class DistributedStagePipeline:

@@ -76,6 +76,10 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
     network, fault_plan, retries, network_seed:
         Simulated-network condition, scripted faults, retry-budget override,
         and loss-seed override — see :class:`~repro.core.engine.StagePipeline`.
+    stage_cache:
+        Optional content-addressed stage cache (see
+        :class:`~repro.core.cache.StageCache`); results are bit-identical
+        with and without it.
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -98,6 +102,7 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
         fault_plan=None,
         retries: Optional[int] = None,
         network_seed: Optional[int] = None,
+        stage_cache=None,
     ) -> None:
         super().__init__(
             k=k,
@@ -111,6 +116,7 @@ class SingleSourcePipeline(StagePipeline, abc.ABC):
             fault_plan=fault_plan,
             retries=retries,
             network_seed=network_seed,
+            stage_cache=stage_cache,
         )
         self.coreset_size = coreset_size
         self.pca_rank = pca_rank

@@ -20,7 +20,6 @@ merge-and-reduce coreset trees, incremental uplink, and continuous queries.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -53,11 +52,15 @@ from repro.stages.qt import QuantizeStage
 #: loss-seed override — see :mod:`repro.distributed.conditions`).
 NETWORK_KWARGS = ("network", "fault_plan", "retries", "network_seed")
 
-#: Keyword arguments every single-source factory accepts.
+#: Keyword arguments every single-source factory accepts.  ``stage_cache``
+#: (a :class:`~repro.core.cache.StageCache` or per-cell view) opts the
+#: engine into content-addressed memoization of stage outputs; the
+#: multi-source and streaming kinds execute uncached (their per-shard
+#: network metering interleaves with stage execution).
 SINGLE_SOURCE_KWARGS = (
     "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
     "second_jl_dimension", "quantizer", "server_n_init",
-    "server_max_iterations", "seed",
+    "server_max_iterations", "seed", "stage_cache",
 ) + NETWORK_KWARGS
 #: Keyword arguments every multi-source factory accepts.
 MULTI_SOURCE_KWARGS = (
@@ -170,37 +173,27 @@ def accepted_kwargs(name: str) -> Tuple[str, ...]:
     return SINGLE_SOURCE_KWARGS
 
 
-def create_pipeline(name: str, *, strict: Optional[bool] = None, **kwargs):
+def create_pipeline(name: str, *, strict: Optional[bool] = True, **kwargs):
     """Build a fresh pipeline instance for a registered composition.
 
     ``kwargs`` outside the standard set for the composition's kind (see
-    :func:`accepted_kwargs`) are rejected with a ``TypeError`` when
-    ``strict=True``.  The historical behaviour — silently filtering them so
-    callers may pass one merged configuration for mixed experiments — is
-    kept when ``strict`` is unset, but now emits a ``DeprecationWarning``
-    because it turns typos (``jl_dim=20``) into silently-wrong experiments;
-    strict will become the default in a future release.  Pass
-    ``strict=False`` to keep lenient filtering without the warning.
+    :func:`accepted_kwargs`) are rejected with a ``TypeError`` — typos like
+    ``jl_dim=20`` used to silently run the wrong experiment.  Pass
+    ``strict=False`` to deliberately opt into the historical lenient
+    filtering (callers that pass one merged configuration for mixed
+    experiments); the previous ``strict=None`` deprecation default now
+    means strict.
     """
     spec = get_spec(name)
     accepted = accepted_kwargs(name)
     unknown = sorted(set(kwargs) - set(accepted))
-    if unknown:
-        message = (
+    if unknown and (strict or strict is None):
+        raise TypeError(
             f"create_pipeline({name!r}) got unknown keyword arguments "
             f"{unknown}; {factory_kind(name)} pipelines accept "
-            f"{sorted(accepted)}"
+            f"{sorted(accepted)} (pass strict=False to filter them "
+            f"deliberately)"
         )
-        if strict:
-            raise TypeError(message)
-        if strict is None:
-            warnings.warn(
-                message + " — unknown keyword arguments are silently dropped "
-                "for now, but this will become a TypeError; pass strict=False "
-                "to keep filtering deliberately",
-                DeprecationWarning,
-                stacklevel=2,
-            )
     filtered = {k: v for k, v in kwargs.items() if k in accepted and v is not None}
     return spec.factory(**filtered)
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -146,6 +146,17 @@ class Stage(abc.ABC):
     #: identify that stage declaratively.
     reduces_cardinality: bool = False
 
+    #: True when the engine may memoize this stage's output through a
+    #: content-addressed :class:`~repro.core.cache.StageCache`.  Requires
+    #: that (a) the output is fully described by a
+    #: :class:`~repro.core.cache.pack_effect` payload — points, weights,
+    #: shift, subspace basis, details — and (b) any lift the stage produces
+    #: is reconstructable from its configuration plus the pre-shared seed
+    #: (:meth:`rebuild_lift`).  Stages that arm non-serializable state
+    #: (e.g. the wire quantizer) stay ``False``; they still contribute
+    #: their :meth:`fingerprint` to the cache key chain.
+    cacheable: bool = False
+
     def handshake(self, ctx: StageContext) -> None:
         """Negotiate pre-shared randomness with the server (if any)."""
         if self.requires_shared_seed:
@@ -155,6 +166,31 @@ class Stage(abc.ABC):
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         """Transform the source's working state; runs inside the timed
         source-computation section."""
+
+    # ------------------------------------------------------------- caching
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of this stage's *configuration*.
+
+        Two stage instances with equal fingerprints must compute identical
+        outputs from identical inputs and seed streams — the fingerprint is
+        one link of the content-addressed cache key chain
+        (:meth:`~repro.core.cache.StageCache.chain_key`), so any
+        constructor argument that changes the output must appear here.
+        The default covers configuration-free stages only; configurable
+        stages override it.
+        """
+        return (type(self).__name__,)
+
+    def rebuild_lift(
+        self, input_dimension: int, output_dimension: int
+    ) -> Optional[CenterLift]:
+        """Reconstruct the server-side lift for a cached application of this
+        stage, given the dimensions it mapped between, or ``None`` when the
+        lift cannot be rebuilt from configuration + pre-shared seed alone
+        (the cache then recomputes the stage instead of honouring the hit).
+        Only lift-producing cacheable stages override this.
+        """
+        return None
 
     # --------------------------------------------------------------- helpers
     @property

@@ -42,10 +42,14 @@ class FSSStage(Stage):
 
     name = "FSS"
     reduces_cardinality = True
+    cacheable = True
 
     def __init__(self, size: Optional[int] = None, pca_rank: Optional[int] = None) -> None:
         self.size = size
         self.pca_rank = pca_rank
+
+    def fingerprint(self):
+        return ("FSS", self.size, self.pca_rank)
 
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         n, d = state.cardinality, state.dimension
@@ -86,9 +90,13 @@ class SensitivityStage(Stage):
 
     name = "SS"
     reduces_cardinality = True
+    cacheable = True
 
     def __init__(self, size: Optional[int] = None) -> None:
         self.size = size
+
+    def fingerprint(self):
+        return ("SS", self.size)
 
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         size = _resolve_size(self.size, state.cardinality, ctx.k)
@@ -114,10 +122,14 @@ class UniformStage(Stage):
 
     name = "Uniform"
     reduces_cardinality = True
+    cacheable = True
 
     def __init__(self, size: Optional[int] = None, replace: bool = True) -> None:
         self.size = size
         self.replace = replace
+
+    def fingerprint(self):
+        return ("Uniform", self.size, self.replace)
 
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         size = _resolve_size(self.size, state.cardinality, ctx.k)

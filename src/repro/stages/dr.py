@@ -39,10 +39,29 @@ class JLStage(Stage):
 
     name = "JL"
     requires_shared_seed = True
+    cacheable = True
 
     def __init__(self, dimension: Optional[int] = None, ensemble: str = "gaussian") -> None:
         self.dimension = dimension
         self.ensemble = ensemble
+
+    def fingerprint(self):
+        return ("JL", self.dimension, self.ensemble)
+
+    def rebuild_lift(self, input_dimension: int, output_dimension: int):
+        # The lift is a pure function of (d, d', shared seed, ensemble): the
+        # server re-derives the identical map, so a cached application can
+        # rebuild it without ever persisting the projection matrix.
+        seed = self.shared_seed
+        ensemble = self.ensemble
+
+        def lift(centers):
+            server_projection = JLProjection(
+                input_dimension, output_dimension, seed=seed, ensemble=ensemble
+            )
+            return server_projection.inverse_transform(centers)
+
+        return lift
 
     def resolve_dimension(self, state: SourceState, ctx: StageContext) -> int:
         d = state.dimension
@@ -54,19 +73,12 @@ class JLStage(Stage):
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         d = state.dimension
         target = self.resolve_dimension(state, ctx)
-        seed = self.shared_seed
-        projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
+        projection = JLProjection(d, target, seed=self.shared_seed, ensemble=self.ensemble)
         projected = projection.transform(state.points)
-
-        def lift(centers):
-            # The server re-derives the identical map from the shared seed.
-            server_projection = JLProjection(d, target, seed=seed, ensemble=self.ensemble)
-            return server_projection.inverse_transform(centers)
-
         return StageEffect(
             # The projection moves the points out of any recorded subspace.
             state=state.evolve(points=projected, subspace=None),
-            lift=lift,
+            lift=self.rebuild_lift(d, target),
             details={"jl_dimension": float(target)},
         )
 
@@ -82,10 +94,14 @@ class PCAStage(Stage):
     """
 
     name = "PCA"
+    cacheable = True
 
     def __init__(self, rank: Optional[int] = None, approximate: bool = False) -> None:
         self.rank = rank
         self.approximate = approximate
+
+    def fingerprint(self):
+        return ("PCA", self.rank, self.approximate)
 
     def resolve_rank(self, state: SourceState, ctx: StageContext) -> int:
         n, d = state.cardinality, state.dimension

@@ -35,6 +35,12 @@ class QuantizeStage(Stage):
             quantizer = RoundingQuantizer(quantizer)
         self.quantizer = quantizer
 
+    # Not cacheable (it arms a non-serializable wire quantizer, and caching
+    # a no-compute stage would buy nothing), but its bits still key the
+    # chain so downstream entries never alias across quantization settings.
+    def fingerprint(self):
+        return ("QT", self.quantizer.significant_bits)
+
     def apply_at_source(self, state: SourceState, ctx: StageContext) -> StageEffect:
         return StageEffect(
             state=state.evolve(wire_quantizer=self.quantizer),

@@ -262,24 +262,85 @@ class TestSweepSubcommand:
         spec_path.write_text(SWEEP_TOML)
         store_path = tmp_path / "results" / "sweep.jsonl"
         assert main(["sweep", str(spec_path),
-                     "--store", str(store_path)]) == 0
+                     "--store", str(store_path),
+                     "--cache-dir", str(tmp_path / "stage_cache")]) == 0
         out = capsys.readouterr().out
         assert "2 cell(s)" in out
         assert "quantize_bits=8" in out and "quantize_bits=12" in out
+        assert "stage cache" in out and "miss(es)" in out
         records = api.ResultStore(store_path).load()
         assert len(records) == 2
         assert records[0].run_seeds == records[1].run_seeds  # paired seeds
+        assert records[0].cache["misses"] > 0  # per-cell accounting persisted
 
     def test_plain_spec_runs_as_one_cell(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.toml"
         spec_path.write_text(SPEC_TOML)
-        assert main(["sweep", str(spec_path), "--store", ""]) == 0
-        assert "1 cell(s)" in capsys.readouterr().out
+        assert main(["sweep", str(spec_path), "--store", "", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s)" in out
+        assert "stage cache" not in out  # --no-cache runs (and prints) none
+
+    def test_warm_rerun_hits_the_cache(self, tmp_path, capsys):
+        spec_path = tmp_path / "sweep.toml"
+        spec_path.write_text(SWEEP_TOML)
+        cache_dir = str(tmp_path / "stage_cache")
+        assert main(["sweep", str(spec_path), "--store", "",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(spec_path), "--store", "",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 miss(es)" in out
+        assert "100% hit rate" in out
+        assert "2/2 cell(s) reused cached stages" in out
 
     def test_sweep_parser_defaults(self):
         args = build_sweep_parser().parse_args(["sweep.toml"])
         assert args.store == "results/sweep.jsonl"
         assert args.jobs is None
+        assert args.cache is True
+        assert args.cache_dir == "results/stage_cache"
+
+
+class TestCacheSubcommand:
+    def _prime(self, tmp_path):
+        spec_path = tmp_path / "sweep.toml"
+        spec_path.write_text(SWEEP_TOML)
+        cache_dir = tmp_path / "stage_cache"
+        main(["sweep", str(spec_path), "--store", "",
+              "--cache-dir", str(cache_dir)])
+        return cache_dir
+
+    def test_cache_stats(self, tmp_path, capsys):
+        cache_dir = self._prime(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "stage cache" in out and "entries" in out
+
+    def test_cache_gc_to_budget_and_clear(self, tmp_path, capsys):
+        cache_dir = self._prime(tmp_path)
+        before = len(list(cache_dir.glob("*.npz")))
+        assert before > 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir),
+                     "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert len(list(cache_dir.glob("*.npz"))) < before
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("*.npz")) == []
+
+    def test_cache_gc_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(SystemExit, match="max-bytes"):
+            main(["cache", "gc", "--cache-dir", str(tmp_path),
+                  "--max-bytes", "-5"])
+
+    def test_cache_stats_on_missing_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "0 entries" in capsys.readouterr().out
 
 
 class TestReportSubcommand:
@@ -288,7 +349,8 @@ class TestReportSubcommand:
         spec_path = tmp_path / "sweep.toml"
         spec_path.write_text(SWEEP_TOML)
         store_path = tmp_path / "sweep.jsonl"
-        main(["sweep", str(spec_path), "--store", str(store_path)])
+        main(["sweep", str(spec_path), "--store", str(store_path),
+              "--cache-dir", str(tmp_path / "stage_cache")])
         return store_path
 
     def test_report_table(self, store_path, capsys):

@@ -54,9 +54,12 @@ class TestRegistry:
         assert "jl_dimension" in message  # the accepted set is listed
         assert "single-source" in message
 
-    def test_create_lenient_default_warns(self):
-        with pytest.warns(DeprecationWarning, match="jl_dim"):
+    def test_create_strict_by_default(self):
+        # The PR-5 deprecation completed: unknown kwargs raise without an
+        # explicit strict=True, and the error points at the opt-out.
+        with pytest.raises(TypeError, match="jl_dim") as excinfo:
             registry.create_pipeline("jl-fss", k=2, jl_dim=20)
+        assert "strict=False" in str(excinfo.value)
 
     def test_accepted_kwargs_and_kind(self):
         assert registry.factory_kind("fss") == "single-source"

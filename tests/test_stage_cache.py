@@ -1,0 +1,217 @@
+"""Tests for content-addressed stage caching (core/cache.py + the sweep
+runner's cache integration).
+
+The contract under test is the tentpole's correctness bar: a cache-warm
+sweep is *byte-identical* to a cold one — summaries, evaluations, seeds —
+with only wall-clock fields free to differ, under any jobs fan-out, and
+even after cache entries are corrupted on disk.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.cache import (
+    CacheCounters,
+    StageCache,
+    content_digest,
+    pack_reference,
+    unpack_reference,
+)
+
+GOLDEN_SPEC = Path(__file__).parent / "goldens" / "experiment_spec.toml"
+
+
+def _deterministic(evaluations):
+    return [
+        dataclasses.replace(e, source_seconds=0.0, server_seconds=0.0)
+        for e in evaluations
+    ]
+
+
+def _deterministic_summary(summary):
+    return dataclasses.replace(summary, mean_source_seconds=0.0)
+
+
+def _sweep_fingerprint(outcomes):
+    """Everything that must be bit-identical across cold/warm/uncached."""
+    return [
+        (
+            o.cell_id,
+            o.run_seeds,
+            _deterministic_summary(o.summary),
+            _deterministic(o.evaluations),
+        )
+        for o in outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def golden_sweep():
+    """The golden experiment spec expanded into a 2×2×2 sweep grid."""
+    base = api.load_spec(GOLDEN_SPEC)
+    return api.SweepSpec(base=base, axes={
+        "k": [2, 3],
+        "quantize_bits": [8, 12],
+        "net": ["ideal", "lossy"],
+    })
+
+
+@pytest.fixture(scope="module")
+def uncached(golden_sweep):
+    return api.run_sweep(golden_sweep)
+
+
+class TestColdWarmParity:
+    def test_cold_and_warm_bit_identical_to_uncached(
+        self, golden_sweep, uncached, tmp_path_factory
+    ):
+        cache = StageCache(tmp_path_factory.mktemp("cache") / "stage_cache")
+        cold = api.run_sweep(golden_sweep, cache=cache)
+        cold_counters = cache.counters.as_dict()
+        warm = api.run_sweep(golden_sweep, cache=cache)
+
+        reference = _sweep_fingerprint(uncached)
+        assert _sweep_fingerprint(cold) == reference
+        assert _sweep_fingerprint(warm) == reference
+
+        # Cold already dedupes: the quantize_bits and net axes share their
+        # whole stage chain, so distinct work < cell executions.
+        assert cold_counters["misses"] < 8 * 2  # 8 cells x 2 MC runs
+        assert cold_counters["hits"] > 0
+        # Warm recomputes nothing.
+        warm_counters = cache.counters.as_dict()
+        assert warm_counters["misses"] == cold_counters["misses"]
+        assert warm_counters["hits"] > cold_counters["hits"]
+
+    def test_jobs_fanout_with_shared_cache_bit_identical(
+        self, golden_sweep, uncached, tmp_path_factory
+    ):
+        # Concurrent cells racing on the same prefix must dedupe through
+        # the per-key locks, never corrupt or double-compute silently.
+        cache = StageCache(tmp_path_factory.mktemp("cache") / "stage_cache")
+        sequential = api.run_sweep(golden_sweep, cache=cache, jobs=1)
+        threaded = api.run_sweep(golden_sweep, cache=cache, jobs=4)
+        reference = _sweep_fingerprint(uncached)
+        assert _sweep_fingerprint(sequential) == reference
+        assert _sweep_fingerprint(threaded) == reference
+
+    def test_cache_accepts_plain_directory_path(
+        self, golden_sweep, uncached, tmp_path
+    ):
+        outcomes = api.run_sweep(golden_sweep, cache=tmp_path / "stage_cache")
+        assert _sweep_fingerprint(outcomes) == _sweep_fingerprint(uncached)
+        assert any((tmp_path / "stage_cache").glob("*.npz"))
+
+
+class TestAccounting:
+    def test_per_cell_stats_recorded_on_outcomes_and_records(
+        self, golden_sweep, tmp_path
+    ):
+        cache = StageCache(tmp_path / "stage_cache")
+        store = api.ResultStore(tmp_path / "sweep.jsonl")
+        api.run_sweep(golden_sweep, cache=cache)  # prime
+        warm = api.run_sweep(golden_sweep, cache=cache, store=store)
+        assert all(o.cache_stats["hits"] > 0 for o in warm)
+        assert all(o.cache_stats["misses"] == 0 for o in warm)
+        records = store.load()
+        assert [r.cache for r in records] == [o.cache_stats for o in warm]
+        # Records survive a JSONL round-trip with the cache block intact.
+        assert records[0].cache["hits"] > 0
+
+    def test_uncached_runs_report_empty_stats(self, uncached):
+        assert all(o.cache_stats == {} for o in uncached)
+
+    def test_counters_arithmetic(self):
+        counters = CacheCounters(hits=3, misses=1)
+        assert counters.lookups == 4
+        assert counters.hit_rate == pytest.approx(0.75)
+        assert CacheCounters().hit_rate == 0.0
+
+
+class TestCorruptionRecovery:
+    def test_corrupted_entries_recomputed_not_crashed(
+        self, golden_sweep, uncached, tmp_path
+    ):
+        cache_dir = tmp_path / "stage_cache"
+        cache = StageCache(cache_dir)
+        api.run_sweep(golden_sweep, cache=cache)
+        entries = sorted(cache_dir.glob("*.npz"))
+        assert entries
+        for entry in entries[: max(1, len(entries) // 2)]:
+            entry.write_bytes(b"this is not an npz archive")
+
+        # A fresh cache object (no memory layer hiding the damage).
+        recovering = StageCache(cache_dir)
+        outcomes = api.run_sweep(golden_sweep, cache=recovering)
+        assert _sweep_fingerprint(outcomes) == _sweep_fingerprint(uncached)
+        counters = recovering.counters.as_dict()
+        assert counters["corrupt"] >= 1      # damage was detected...
+        assert counters["misses"] >= 1       # ...and recomputed...
+        assert counters["stored"] >= 1       # ...and re-persisted.
+
+    def test_truncated_entry_discarded_on_lookup(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = cache.reference_key(np.eye(3), 2, 10, 0)
+        cache.store(key, pack_reference(np.eye(2), 1.5))
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(path.read_bytes()[:10])
+        fresh = StageCache(tmp_path)
+        assert fresh.lookup(key) is None
+        assert fresh.counters.corrupt == 1
+        assert not path.exists()  # the bad entry was unlinked
+
+
+class TestStageCacheUnit:
+    def test_reference_payload_roundtrip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        centers = np.arange(6, dtype=float).reshape(2, 3) / 7.0
+        key = cache.reference_key(centers, 2, 10, 123)
+        cache.store(key, pack_reference(centers, 0.25))
+        loaded_centers, loaded_cost = unpack_reference(cache.lookup(key))
+        np.testing.assert_array_equal(loaded_centers, centers)
+        assert loaded_cost == 0.25
+
+    def test_content_digest_distinguishes_values_not_identity(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        assert content_digest(a) == content_digest(a.copy())
+        assert content_digest(a) != content_digest(a + 1e-12)
+
+    def test_gc_evicts_down_to_budget_and_clear_empties(self, tmp_path):
+        cache = StageCache(tmp_path)
+        for i in range(4):
+            key = cache.reference_key(np.full((2, 2), float(i)), 2, 10, i)
+            cache.store(key, pack_reference(np.full((2, 2), float(i)), 1.0))
+        stats = cache.stats()
+        assert stats.entries == 4
+        removed, freed = cache.gc(stats.total_bytes // 2)
+        assert removed >= 1 and freed > 0
+        assert cache.stats().total_bytes <= stats.total_bytes // 2
+        cache.gc(0)
+        assert cache.stats().entries == 0
+
+    def test_views_split_counters_but_share_storage(self, tmp_path):
+        cache = StageCache(tmp_path)
+        view_a, view_b = cache.view(), cache.view()
+        key = cache.reference_key(np.eye(2), 2, 10, 0)
+        view_a.store(key, pack_reference(np.eye(2), 1.0))
+        assert view_b.lookup(key) is not None
+        view_a.count_hit()
+        view_b.count_miss(stored=False)
+        assert (view_a.counters.hits, view_a.counters.misses) == (1, 0)
+        assert (view_b.counters.hits, view_b.counters.misses) == (0, 1)
+        assert (cache.counters.hits, cache.counters.misses) == (1, 1)
+
+    def test_unwritable_directory_degrades_to_uncached(
+        self, golden_sweep, uncached, tmp_path
+    ):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache directory should go")
+        cache = StageCache(blocker / "stage_cache")  # mkdir will fail
+        outcomes = api.run_sweep(golden_sweep, cache=cache)
+        assert _sweep_fingerprint(outcomes) == _sweep_fingerprint(uncached)
+        assert cache.counters.stored == 0
+        assert cache.counters.misses > 0
