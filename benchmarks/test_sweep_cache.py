@@ -116,3 +116,64 @@ def test_multi_axis_sweep_speedup(tmp_path):
     _assert_bit_parity(cold, warm)
     assert warm_counters.misses == 0
     assert cold_seconds / warm_seconds >= 2.0
+
+
+def test_resume_overhead(tmp_path):
+    """Crash-tolerance must be close to free: a durable sweep (fsynced
+    store + journal) is compared against a plain one, and a post-crash
+    ``resume`` pass — which restores the committed prefix from disk and
+    executes only the missing cells — against a full re-run.  All three
+    land as rows in BENCH_sweep.json."""
+    from repro.utils import faultpoints
+
+    sweep = api.load_spec(SWEEP_SPEC)
+    cache_dir = tmp_path / "stage_cache"
+
+    plain, plain_seconds, _ = _timed_sweep(sweep, cache_dir)
+
+    store = api.ResultStore(tmp_path / "durable.jsonl")
+    cache = api.StageCache(cache_dir)
+    start = time.perf_counter()
+    durable = api.run_sweep(sweep, cache=cache, store=store)
+    durable_seconds = time.perf_counter() - start
+    _assert_bit_parity(plain, durable)
+
+    # Crash mid-sweep (simulated kill at the 5th record commit), resume.
+    crashed = api.ResultStore(tmp_path / "crashed.jsonl")
+    try:
+        faultpoints.arm("store.append", at=5)
+        try:
+            api.run_sweep(sweep, cache=api.StageCache(cache_dir), store=crashed)
+        except faultpoints.FaultInjected:
+            pass
+    finally:
+        faultpoints.disarm()
+    committed = len(crashed.load())
+    start = time.perf_counter()
+    resumed = api.run_sweep(sweep, cache=api.StageCache(cache_dir),
+                            store=crashed, resume=True)
+    resume_seconds = time.perf_counter() - start
+    restored = sum(1 for o in resumed if isinstance(o, api.RestoredOutcome))
+    assert restored == committed == 4
+    assert len(crashed.load()) == len(durable)
+
+    print(f"\nresume overhead over {SWEEP_SPEC.name}:")
+    print(f"plain:   {plain_seconds:.3f}s (no store)")
+    print(f"durable: {durable_seconds:.3f}s (fsynced store + journal, "
+          f"{durable_seconds / plain_seconds:.2f}x plain)")
+    print(f"resume:  {resume_seconds:.3f}s ({restored}/{len(resumed)} cells "
+          f"restored, {resume_seconds / durable_seconds:.2f}x a full "
+          f"durable run)")
+    record_bench("sweep", {
+        "resume_plain": {"cells": float(len(plain)),
+                         "wall_seconds": float(plain_seconds)},
+        "resume_durable": {"cells": float(len(durable)),
+                           "wall_seconds": float(durable_seconds)},
+        "resume_after_crash": {"cells": float(len(resumed)),
+                               "cells_restored": float(restored),
+                               "wall_seconds": float(resume_seconds)},
+    })
+
+    # A resume that re-runs half the grid must beat a full durable re-run
+    # (the restored half costs a disk read, not an execution).
+    assert resume_seconds < durable_seconds * 1.5

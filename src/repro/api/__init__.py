@@ -23,7 +23,14 @@ rebuilt CLI: ``repro run spec.toml``, ``repro sweep sweep.toml``,
 ``repro report results/sweep.jsonl``.
 """
 
-from repro.api.runner import ExperimentOutcome, run_experiment, run_sweep
+from repro.api.journal import SweepJournal
+from repro.api.runner import (
+    ExperimentOutcome,
+    FailedCell,
+    RestoredOutcome,
+    run_experiment,
+    run_sweep,
+)
 from repro.api.serialization import dump_spec, dumps_toml, load_spec, spec_from_dict
 from repro.core.cache import CacheStats, StageCache, StageCacheView
 from repro.api.specs import (
@@ -44,6 +51,7 @@ from repro.api.store import (
     ComparisonTable,
     ResultStore,
     RunRecord,
+    StoreCheck,
     compare_outcomes,
     compare_records,
     provenance,
@@ -71,11 +79,15 @@ __all__ = [
     "run_experiment",
     "run_sweep",
     "ExperimentOutcome",
+    "RestoredOutcome",
+    "FailedCell",
+    "SweepJournal",
     "StageCache",
     "StageCacheView",
     "CacheStats",
     "ResultStore",
     "RunRecord",
+    "StoreCheck",
     "ComparisonTable",
     "spec_hash",
     "provenance",

@@ -23,15 +23,17 @@ order; outputs are bit-identical with the cache on or off, warm or cold.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.journal import SweepJournal
 from repro.api.specs import ExperimentSpec, SweepCell, SweepSpec
-from repro.api.store import ResultStore, RunRecord, provenance
+from repro.api.store import ResultStore, RunRecord, provenance, spec_hash
 from repro.core.cache import (
     StageCache,
     StageCacheView,
@@ -44,7 +46,8 @@ from repro.metrics.experiment import (
     ExperimentResult,
     ExperimentRunner,
 )
-from repro.utils.parallel import parallel_map, resolve_jobs
+from repro.utils import faultpoints
+from repro.utils.parallel import resolve_jobs
 from repro.utils.random import as_generator, derive_seed
 
 
@@ -69,7 +72,13 @@ class ExperimentOutcome:
 
     def to_record(self, stamp: Optional[Dict[str, Any]] = None) -> RunRecord:
         """Convert to a persistable :class:`RunRecord` (``stamp`` lets a
-        sweep share one provenance dict across cells)."""
+        sweep share one provenance dict across cells).
+
+        Stage-cache accounting (:attr:`cache_stats`) deliberately stays out
+        of the record: it depends on cache warmth, so persisting it would
+        make a resumed sweep's store differ from an uncrashed one.  The
+        sweep journal records it instead.
+        """
         return RunRecord(
             algorithm=self.label,
             spec=self.spec.to_dict(),
@@ -78,8 +87,72 @@ class ExperimentOutcome:
             run_seeds=self.run_seeds,
             cell_id=self.cell_id,
             provenance=provenance() if stamp is None else stamp,
-            cache=dict(self.cache_stats),
         )
+
+
+@dataclass
+class RestoredOutcome:
+    """A cell ``--resume`` skipped, rehydrated from its persisted record.
+
+    Quacks like :class:`ExperimentOutcome` where reporting needs it
+    (``label``/``cell_id``/``summary``/``evaluations``/``cache_stats``) but
+    carries no live :class:`ExperimentResult` — the cell was not re-run.
+    """
+
+    record: RunRecord
+    restored: bool = True
+
+    @property
+    def label(self) -> str:
+        return self.record.algorithm
+
+    @property
+    def cell_id(self) -> Optional[str]:
+        return self.record.cell_id
+
+    @property
+    def summary(self) -> AlgorithmSummary:
+        return self.record.algorithm_summary()
+
+    @property
+    def run_seeds(self) -> Tuple[int, ...]:
+        return self.record.run_seeds
+
+    @property
+    def evaluations(self) -> List[PipelineEvaluation]:
+        return self.record.pipeline_evaluations()
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return {}
+
+    def to_record(self, stamp: Optional[Dict[str, Any]] = None) -> RunRecord:
+        return self.record
+
+
+@dataclass
+class FailedCell:
+    """A sweep cell whose execution raised (captured, not fatal).
+
+    Appears in the returned outcome list at the cell's grid position so
+    comparison tables can surface the failure; carries the formatted
+    traceback and the original exception.  Never persisted to the result
+    store — re-running the sweep with ``resume=True`` retries it.
+    """
+
+    cell_id: Optional[str]
+    label: str
+    spec: ExperimentSpec
+    spec_hash: str
+    error: str
+    exception: Optional[BaseException] = None
+    #: Mirrors ExperimentOutcome's interface for reporting code.
+    summary: None = None
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def evaluations(self) -> List[PipelineEvaluation]:
+        return []
 
 
 def _reference_seed(master_seed: int) -> int:
@@ -178,7 +251,10 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     reference_n_init: int = 10,
     cache: Optional[Union[StageCache, str, Path]] = None,
-) -> List[ExperimentOutcome]:
+    resume: bool = False,
+    max_failures: int = 0,
+    journal: Optional[Union[SweepJournal, str, Path]] = None,
+) -> List[Union[ExperimentOutcome, "RestoredOutcome", "FailedCell"]]:
     """Execute every cell of a sweep grid.
 
     Datasets and reference solutions are computed once per unique
@@ -186,8 +262,7 @@ def run_sweep(
     cells differing only in tuning knobs are judged against identical
     reference centers — the paper's paired-comparison methodology.  With
     ``jobs > 1`` cells run on one hoisted thread pool (cells are
-    independent; the heavy work is GIL-releasing BLAS).  When ``store`` is
-    given, every cell's record is appended in grid order after execution.
+    independent; the heavy work is GIL-releasing BLAS).
 
     ``cache`` — a :class:`~repro.core.cache.StageCache` or a directory path
     to build one from — memoizes stage outputs and reference solutions
@@ -196,9 +271,52 @@ def run_sweep(
     cold one.  Cells are executed grouped by stage-chain prefix to maximize
     sharing, but the returned list (and the persisted records) always
     follow grid order.
+
+    Crash tolerance: when ``store`` is given, each cell's record is
+    durably appended as soon as the contiguous grid-order prefix up to it
+    has completed — a killed sweep leaves the store a clean grid-order
+    prefix of the full result.  A :class:`~repro.api.journal.SweepJournal`
+    beside the store (``<store>.journal`` unless ``journal`` overrides it)
+    logs every cell before and after execution.  With ``resume=True``,
+    cells whose ``(spec_hash, cell_id)`` already sit in the store are
+    skipped and returned as :class:`RestoredOutcome`; the completed store
+    is byte-identical to an uncrashed run's (run both under a frozen clock
+    — ``REPRO_FROZEN_CLOCK=1`` — if you need the timing fields identical
+    too).
+
+    Failure isolation: a cell that raises becomes a :class:`FailedCell`
+    at its grid position (journaled with its traceback) instead of
+    aborting the pool — up to ``max_failures`` of them, after which the
+    original exception is re-raised.  Injected faults
+    (:class:`~repro.utils.faultpoints.FaultInjected`) always propagate:
+    they simulate crashes, and a crash cannot be "captured".
     """
     cells = sweep.cells()
     stage_cache = _resolve_cache(cache)
+
+    if journal is None:
+        sweep_journal = SweepJournal.for_store(store.path) if store is not None else None
+    elif isinstance(journal, SweepJournal):
+        sweep_journal = journal
+    else:
+        sweep_journal = SweepJournal(journal)
+
+    # Resume: the store is the authoritative record of committed cells —
+    # skip any cell whose (spec_hash, cell_id) it already holds.  The
+    # journal is advisory (tracebacks, in-flight markers); previously
+    # failed or in-flight cells have no store record, so they re-run.
+    restored: Dict[int, RestoredOutcome] = {}
+    if resume:
+        if store is None:
+            raise ValueError("resume=True requires a result store")
+        committed = {
+            (record.spec_hash, record.cell_id): record
+            for record in store.load()
+        }
+        for cell in cells:
+            key = (spec_hash(cell.spec.to_dict()), cell.cell_id)
+            if key in committed:
+                restored[cell.index] = RestoredOutcome(record=committed[key])
 
     # Generate each unique dataset once, and solve each unique reference
     # problem once, serially — the parallel phase then only reads them.
@@ -237,25 +355,90 @@ def run_sweep(
             stage_cache=None if stage_cache is None else stage_cache.view(),
         )
 
-    # Execute grouped by prefix signature (stable within a group), return
-    # in grid order.
-    ordered = sorted(cells, key=lambda cell: (_prefix_signature(cell), cell.index))
+    def run_cell(cell: SweepCell) -> Union[ExperimentOutcome, FailedCell]:
+        """Execute one cell with journaling and failure capture.
+
+        Injected faults re-raise — they simulate a crash, and a crash
+        cannot be captured as a failed cell.
+        """
+        cell_hash = spec_hash(cell.spec.to_dict())
+        if sweep_journal is not None:
+            sweep_journal.start(cell_hash, cell.cell_id, cell.spec.seed)
+        try:
+            outcome = execute(cell)
+        except faultpoints.FaultInjected:
+            raise
+        except Exception as exc:
+            error = traceback.format_exc()
+            if sweep_journal is not None:
+                sweep_journal.failed(cell_hash, cell.cell_id, cell.spec.seed, error)
+            return FailedCell(
+                cell_id=cell.cell_id,
+                label=cell.spec.pipeline.algorithm,
+                spec=cell.spec,
+                spec_hash=cell_hash,
+                error=error,
+                exception=exc,
+            )
+        if sweep_journal is not None:
+            sweep_journal.done(
+                cell_hash, cell.cell_id, cell.spec.seed, cache=outcome.cache_stats
+            )
+        return outcome
+
+    # Execute grouped by prefix signature (stable within a group); commit
+    # and return in grid order.  Committing the contiguous grid-order
+    # prefix as it completes (rather than everything at the end) is what
+    # makes a killed sweep resumable: the store is always a clean prefix.
+    ordered = [
+        cell for cell in
+        sorted(cells, key=lambda cell: (_prefix_signature(cell), cell.index))
+        if cell.index not in restored
+    ]
+    completed: Dict[int, Union[ExperimentOutcome, RestoredOutcome, FailedCell]] = dict(restored)
+    stamp = provenance() if store is not None else None
+    failures: List[FailedCell] = []
+    next_commit = 0
+
+    def commit_ready_prefix() -> None:
+        nonlocal next_commit
+        while next_commit < len(cells) and next_commit in completed:
+            finished = completed[next_commit]
+            if (store is not None
+                    and isinstance(finished, ExperimentOutcome)):
+                store.append(finished.to_record(stamp))
+            next_commit += 1
+
+    def note(cell: SweepCell,
+             outcome: Union[ExperimentOutcome, FailedCell]) -> None:
+        completed[cell.index] = outcome
+        if isinstance(outcome, FailedCell):
+            failures.append(outcome)
+            if len(failures) > max_failures:
+                raise outcome.exception  # budget exhausted: abort the sweep
+        commit_ready_prefix()
+
     workers = resolve_jobs(jobs)
     if workers > 1 and len(ordered) > 1:
-        # Satellite of the caching work: one pool hoisted across the whole
-        # sweep instead of a fresh pool inside every parallel_map call.
+        # One pool hoisted across the whole sweep; completions are
+        # committed from this thread as they land, so store appends and
+        # journal reads stay single-writer.
         with ThreadPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
-            executed = parallel_map(execute, ordered, executor=pool)
+            pending = {pool.submit(run_cell, cell): cell for cell in ordered}
+            try:
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        note(pending.pop(future), future.result())
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
     else:
-        executed = parallel_map(execute, ordered, jobs=1)
-    outcomes = [outcome for _, outcome in
-                sorted(zip(ordered, executed), key=lambda pair: pair[0].index)]
+        for cell in ordered:
+            note(cell, run_cell(cell))
 
-    if store is not None:
-        stamp = provenance()
-        for outcome in outcomes:
-            store.append(outcome.to_record(stamp))
-    return outcomes
+    return [completed[index] for index in range(len(cells))]
 
 
 def _build_reference_context(
@@ -289,4 +472,10 @@ def _build_reference_context(
     return context
 
 
-__all__ = ["ExperimentOutcome", "run_experiment", "run_sweep"]
+__all__ = [
+    "ExperimentOutcome",
+    "RestoredOutcome",
+    "FailedCell",
+    "run_experiment",
+    "run_sweep",
+]

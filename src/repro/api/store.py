@@ -14,13 +14,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import subprocess
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.metrics.evaluation import PipelineEvaluation
 from repro.metrics.experiment import AlgorithmSummary
+from repro.utils import faultpoints
 
 #: Record format version, bumped on incompatible layout changes.
 STORE_VERSION = 1
@@ -40,13 +43,26 @@ def spec_hash(spec_dict: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-def _git_commit() -> Optional[str]:
+@lru_cache(maxsize=1)
+def _git_commit(timeout: float = 2.0) -> Optional[str]:
+    """The current HEAD commit, or ``None`` when git is absent, broken, or
+    slow.
+
+    Memoized for the life of the process: provenance is stamped on every
+    appended record, and a host where ``git`` hangs (dead NFS work-tree,
+    broken credential helper) must stall at most one append for at most
+    ``timeout`` seconds, not every append forever.  stdin is detached so a
+    misconfigured git can never sit waiting for terminal input.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=5, check=False,
+            capture_output=True, text=True, timeout=timeout, check=False,
+            stdin=subprocess.DEVNULL,
         )
     except (OSError, subprocess.SubprocessError):
+        # Covers a missing binary, a TimeoutExpired hang, and any other
+        # subprocess failure — provenance degrades to git_commit: null.
         return None
     commit = out.stdout.strip()
     return commit if out.returncode == 0 and commit else None
@@ -80,8 +96,11 @@ class RunRecord:
     cell_id: Optional[str] = None
     spec_hash: str = ""
     provenance: Dict[str, Any] = field(default_factory=dict)
-    #: Stage-cache accounting for the cell (hits/misses/stored/corrupt);
-    #: empty when the cell ran uncached.
+    #: Legacy field, kept so stores written before the sweep journal
+    #: existed still load.  New records leave it empty: cache accounting
+    #: depends on cache warmth, so persisting it would make a resumed
+    #: sweep's store differ from an uncrashed one — it lives in the
+    #: journal's ``done`` entries instead.
     cache: Dict[str, Any] = field(default_factory=dict)
     version: int = STORE_VERSION
 
@@ -145,43 +164,234 @@ class RunRecord:
         return cls(**payload)
 
 
-class ResultStore:
-    """A JSONL file of :class:`RunRecord` objects (append + load + query)."""
+@dataclass(frozen=True)
+class StoreCheck:
+    """What :meth:`ResultStore.verify` found (non-mutating diagnosis)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    path: str
+    records: int
+    #: The file ends in a flushed-but-unterminated line — the crash
+    #: signature of a killed append.  Healable: :meth:`ResultStore.repair`.
+    torn_tail: bool = False
+    #: 1-based numbers of complete lines that are not valid records — real
+    #: corruption (quarantined wholesale only by an explicit repair).
+    corrupt_lines: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.torn_tail and not self.corrupt_lines
+
+
+class ResultStore:
+    """A JSONL file of :class:`RunRecord` objects (append + load + query).
+
+    Appends are *durable and framed*: each record is one line, written,
+    flushed, and fsynced before :meth:`append` returns, so a crash can tear
+    at most the record being written — never an already-acknowledged one.
+    A torn trailing line left by a killed process is healed automatically
+    on the next append or tolerant load: a torn line that is a complete
+    record gains its missing newline; torn garbage is quarantined into
+    ``<store>.corrupt`` and truncated away, so one crash never poisons the
+    whole store.  ``repro store verify|repair`` exposes the same machinery
+    on the command line.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
+
+    @property
+    def corrupt_path(self) -> Path:
+        """Where quarantined (torn / corrupt) lines go: ``<store>.corrupt``."""
+        return self.path.with_name(self.path.name + ".corrupt")
 
     # ------------------------------------------------------------- writing
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record (creates the file and parents on first write)."""
+        """Durably append one record (creates the file and parents on first
+        write); returns only after the line is flushed and fsynced."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        faultpoints.reach("store.append")
+        self._heal_tail()
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            if faultpoints.is_armed("store.append.torn"):
+                # Crash-injection path: persist a genuine torn line — half
+                # the record, flushed and fsynced, no newline — exactly the
+                # bytes a kill mid-append leaves behind.
+                split = max(1, len(line) // 2)
+                handle.write(line[:split])
+                handle.flush()
+                os.fsync(handle.fileno())
+                faultpoints.reach("store.append.torn")
+                handle.write(line[split:])
+            else:
+                handle.write(line)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
         return record
 
     def extend(self, records: Sequence[RunRecord]) -> None:
+        """Append records one durable line at a time.
+
+        Partial-failure semantics: each record is fully committed before the
+        next is attempted, so if append ``i`` raises, records ``0..i-1`` are
+        already durable and the file carries no half-written frame from them
+        — re-running after the failure may append duplicates but never tears
+        the store (resume-style callers should dedupe on ``(spec_hash,
+        cell_id)`` as the sweep runner does).
+        """
         for record in records:
             self.append(record)
 
     # ------------------------------------------------------------- reading
-    def load(self) -> List[RunRecord]:
-        """All records in append order (empty list for a missing file)."""
+    def load(self, strict: bool = False) -> List[RunRecord]:
+        """All records in append order (empty list for a missing file).
+
+        A torn trailing line — unterminated, the signature of a killed
+        append — is healed by default: completed into a record when its
+        bytes parse, otherwise quarantined into ``<store>.corrupt`` and
+        truncated away.  With ``strict=True`` the torn tail raises instead.
+        A *complete* line that is not a valid record is real corruption and
+        always raises (use :meth:`repair` to quarantine those explicitly).
+        """
         if not self.path.exists():
             return []
+        if not strict:
+            self._heal_tail()
         records: List[RunRecord] = []
         with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"{self.path}:{line_number}: invalid JSONL record: {exc}"
-                    ) from None
+            text = handle.read()
+        if text and not text.endswith("\n"):  # strict=True with a torn tail
+            raise ValueError(
+                f"{self.path}: torn trailing line (crashed append?); "
+                f"load(strict=False) or `repro store repair` heals it"
+            )
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
                 records.append(RunRecord.from_dict(payload))
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{self.path}:{line_number}: invalid JSONL record: {exc}"
+                ) from None
         return records
+
+    # --------------------------------------------------- crash resilience
+    def verify(self) -> StoreCheck:
+        """Diagnose the store file without modifying it."""
+        if not self.path.exists():
+            return StoreCheck(path=str(self.path), records=0)
+        with self.path.open("r", encoding="utf-8") as handle:
+            text = handle.read()
+        torn_tail = bool(text) and not text.endswith("\n")
+        lines = text.splitlines()
+        records = 0
+        corrupt: List[int] = []
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            is_tail = torn_tail and line_number == len(lines)
+            try:
+                RunRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, ValueError, TypeError):
+                if not is_tail:  # the torn tail is healable, not corrupt
+                    corrupt.append(line_number)
+            else:
+                if not is_tail:  # a parseable torn tail is not committed yet
+                    records += 1
+        return StoreCheck(
+            path=str(self.path),
+            records=records,
+            torn_tail=torn_tail,
+            corrupt_lines=tuple(corrupt),
+        )
+
+    def repair(self) -> Tuple[int, int]:
+        """Heal the torn tail and quarantine every corrupt complete line.
+
+        Returns ``(kept_records, quarantined_lines)``.  Quarantined lines
+        are appended verbatim to ``<store>.corrupt``; the store is then
+        rewritten atomically with only the valid records, byte-identical
+        framing (one sorted-key JSON object per line is preserved because
+        valid lines are kept verbatim, not re-serialized).
+        """
+        self._heal_tail()
+        if not self.path.exists():
+            return (0, 0)
+        with self.path.open("r", encoding="utf-8") as handle:
+            text = handle.read()
+        kept: List[str] = []
+        quarantined: List[str] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                RunRecord.from_dict(json.loads(line))
+                kept.append(line)
+            except (json.JSONDecodeError, ValueError, TypeError):
+                quarantined.append(line)
+        if quarantined:
+            self._quarantine(quarantined)
+            tmp = self.path.with_name(self.path.name + ".repair-tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for line in kept:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        return (len(kept), len(quarantined))
+
+    def _heal_tail(self) -> None:
+        """Make the file end on a record boundary.
+
+        A trailing line without a newline is a torn append: if its bytes
+        already parse as a complete record the missing newline is added
+        (the crash hit between the payload write and the frame end);
+        otherwise the partial bytes are moved to ``<store>.corrupt`` and
+        the file is truncated back to the previous record boundary.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with self.path.open("r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            body = handle.read()
+            boundary = body.rfind(b"\n") + 1  # 0 when the whole file is torn
+            tail = body[boundary:]
+            try:
+                RunRecord.from_dict(json.loads(tail.decode("utf-8")))
+                healable = True
+            except (UnicodeDecodeError, json.JSONDecodeError, ValueError,
+                    TypeError):
+                healable = False
+            if healable:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            else:
+                handle.truncate(boundary)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        if not healable:
+            self._quarantine([tail.decode("utf-8", errors="replace")])
+
+    def _quarantine(self, lines: Sequence[str]) -> None:
+        with self.corrupt_path.open("a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
     def __len__(self) -> int:
         return len(self.load())
@@ -275,11 +485,19 @@ def compare_outcomes(
 ) -> "ComparisonTable":
     """Same table as :func:`compare_records`, built straight from in-memory
     :class:`~repro.api.runner.ExperimentOutcome` objects — no RunRecord
-    construction (spec hashing, evaluation copies) or provenance stamp."""
-    return _comparison_table(
-        [(o.cell_id or o.label, o.label, vars(o.summary)) for o in outcomes],
-        metrics,
-    )
+    construction (spec hashing, evaluation copies) or provenance stamp.
+
+    Failed cells (``summary is None`` — :class:`~repro.api.runner
+    .FailedCell`) keep their grid row: the algorithm column is tagged
+    ``[failed]`` and every metric renders as ``-``.
+    """
+    entries: List[Tuple[str, str, Mapping[str, Any]]] = []
+    for o in outcomes:
+        if getattr(o, "summary", None) is None:
+            entries.append((o.cell_id or o.label, f"{o.label} [failed]", {}))
+        else:
+            entries.append((o.cell_id or o.label, o.label, vars(o.summary)))
+    return _comparison_table(entries, metrics)
 
 
 @dataclass(frozen=True)
@@ -325,6 +543,8 @@ __all__ = [
     "provenance",
     "RunRecord",
     "ResultStore",
+    "StoreCheck",
     "ComparisonTable",
     "compare_records",
+    "compare_outcomes",
 ]

@@ -16,6 +16,8 @@ Example invocations::
     repro stream --algorithm stream-fss --batch-size 512 --query-every 4
     repro cache stats                                 # sweep stage cache
     repro cache gc --max-bytes 100000000
+    repro sweep sweep.toml --store results/s.jsonl --resume   # after a crash
+    repro store verify results/s.jsonl                # torn/corrupt check
 
     # legacy flat form (kept working via the spec adapter):
     python -m repro --dataset mnist --algorithm jl-fss-jl --k 2
@@ -279,7 +281,10 @@ def _execute_spec(spec: api.ExperimentSpec,
               f"{summary.mean_simulated_network_seconds:.3f}s mean simulated "
               f"network time")
     if store_path:
-        record = api.ResultStore(store_path).append(outcome.to_record())
+        try:
+            record = api.ResultStore(store_path).append(outcome.to_record())
+        except OSError as exc:
+            raise SystemExit(f"cannot write store {store_path}: {exc}") from None
         print(f"stored run record {record.spec_hash} -> {store_path}")
     return row
 
@@ -401,6 +406,15 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                              "either way (default: on)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
                         help=f"stage cache directory (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already committed to --store (a "
+                             "crashed or aborted sweep continues where it "
+                             "stopped; the finished store is identical to an "
+                             "uncrashed run's)")
+    parser.add_argument("--max-failures", type=int, default=0, metavar="N",
+                        help="tolerate up to N failing cells (captured with "
+                             "their traceback in the sweep journal and shown "
+                             "as [failed] rows) before aborting (default: 0)")
     return parser
 
 
@@ -419,9 +433,27 @@ def run_sweep(args: argparse.Namespace) -> Dict[str, float]:
           f"{len(loaded.axes)} axis/axes "
           f"({', '.join(name for name, _ in loaded.axes) or 'none'})")
     store = api.ResultStore(args.store) if args.store else None
+    resume = getattr(args, "resume", False)
+    if resume and store is None:
+        raise SystemExit("--resume needs a result store; pass --store PATH")
     cache = api.StageCache(args.cache_dir) if getattr(args, "cache", False) else None
-    outcomes = api.run_sweep(loaded, jobs=args.jobs, store=store, cache=cache)
+    try:
+        outcomes = api.run_sweep(
+            loaded, jobs=args.jobs, store=store, cache=cache,
+            resume=resume, max_failures=getattr(args, "max_failures", 0),
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot write results: {exc}") from None
     print(api.compare_outcomes(outcomes))
+    restored = sum(1 for o in outcomes if getattr(o, "restored", False))
+    failed = [o for o in outcomes if isinstance(o, api.FailedCell)]
+    if resume and restored:
+        print(f"resumed: {restored}/{len(outcomes)} cell(s) already in "
+              f"{store.path}, {len(outcomes) - restored} executed")
+    if failed:
+        print(f"{len(failed)} cell(s) failed (tracebacks in "
+              f"{api.SweepJournal.for_store(store.path).path if store else 'the sweep journal'}): "
+              + ", ".join(o.cell_id or o.label for o in failed))
     if cache is not None:
         counters = cache.counters
         cells_hit = sum(1 for o in outcomes if o.cache_stats.get("hits"))
@@ -430,8 +462,10 @@ def run_sweep(args: argparse.Namespace) -> Dict[str, float]:
               f"({counters.hit_rate:.0%} hit rate; {cells_hit}/{len(outcomes)} "
               f"cell(s) reused cached stages)")
     if store is not None:
-        print(f"stored {len(outcomes)} run record(s) -> {store.path}")
-    return {"cells": float(len(outcomes))}
+        stored = len(outcomes) - len(failed)
+        print(f"stored {stored} run record(s) -> {store.path}")
+    return {"cells": float(len(outcomes)), "failed": float(len(failed)),
+            "restored": float(restored)}
 
 
 # ---------------------------------------------------------------------------
@@ -537,6 +571,58 @@ def run_cache(args: argparse.Namespace) -> Dict[str, float]:
           f"entr{'y' if stats.entries == 1 else 'ies'}, "
           f"{stats.total_bytes} bytes")
     return {"entries": float(stats.entries), "bytes": float(stats.total_bytes)}
+
+
+# ---------------------------------------------------------------------------
+# `repro store`: diagnose and repair a JSONL result store.
+# ---------------------------------------------------------------------------
+
+def build_store_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro store`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Diagnose or repair a JSONL result store: verify reports "
+                    "torn trailing lines (crashed appends) and corrupt "
+                    "records without modifying the file; repair heals the "
+                    "tail and quarantines corrupt lines into "
+                    "<store>.corrupt.",
+    )
+    parser.add_argument("action", choices=("verify", "repair"),
+                        help="verify: non-mutating diagnosis (exit 1 when "
+                             "unhealthy); repair: heal the torn tail and "
+                             "quarantine corrupt lines")
+    parser.add_argument("store", help="JSONL result store path")
+    return parser
+
+
+def run_store(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro store verify|repair``."""
+    store = api.ResultStore(args.store)
+    try:
+        if args.action == "repair":
+            kept, quarantined = store.repair()
+            if quarantined:
+                print(f"repaired {args.store}: kept {kept} record(s), "
+                      f"quarantined {quarantined} line(s) -> {store.corrupt_path}")
+            else:
+                print(f"{args.store}: {kept} record(s), nothing to repair")
+            return {"records": float(kept), "quarantined": float(quarantined)}
+        check = store.verify()
+    except OSError as exc:
+        raise SystemExit(f"cannot access store {args.store}: {exc}") from None
+    status = []
+    if check.torn_tail:
+        status.append("torn trailing line (crashed append; `repro store "
+                      "repair` heals it)")
+    if check.corrupt_lines:
+        lines = ", ".join(str(n) for n in check.corrupt_lines)
+        status.append(f"corrupt line(s) {lines}")
+    print(f"{args.store}: {check.records} record(s)"
+          + (", " + "; ".join(status) if status else ", ok"))
+    if not check.ok:
+        raise SystemExit(1)
+    return {"records": float(check.records),
+            "corrupt": float(len(check.corrupt_lines))}
 
 
 # ---------------------------------------------------------------------------
@@ -658,6 +744,7 @@ _SUBCOMMANDS = {
     "report": (build_report_parser, run_report),
     "stream": (build_stream_parser, run_stream),
     "cache": (build_cache_parser, run_cache),
+    "store": (build_store_parser, run_store),
 }
 
 

@@ -46,16 +46,19 @@ import json
 import os
 import tempfile
 import threading
+import time
 import weakref
 import zipfile
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.stages.base import SourceState, StageEffect
+from repro.utils import faultpoints
 
 #: Entry layout version; bumped on incompatible payload changes (old
 #: entries then simply miss and are recomputed).
@@ -69,6 +72,17 @@ DEFAULT_MEMORY_BYTES = 256 * 1024 * 1024
 #: Exceptions that mark an entry as corrupt rather than a bug: truncated
 #: zip members, missing keys, bad dtypes, filesystem races.
 _CORRUPT_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+#: How long :meth:`StageCache.locked` waits on a per-key lock before giving
+#: up and double-computing.  A holder wedged mid-compute (hung BLAS call,
+#: stuck debugger) must degrade dedupe to double-work, never deadlock the
+#: sweep.
+DEFAULT_LOCK_TIMEOUT = 120.0
+
+#: Age past which an orphaned ``.tmp-*.npz`` file (left by a process killed
+#: between write and rename) is garbage — comfortably longer than any
+#: legitimate in-flight write, far shorter than a sweep.
+STALE_TMP_SECONDS = 3600.0
 
 
 # ---------------------------------------------------------------------------
@@ -188,14 +202,20 @@ class StageCache:
     """
 
     def __init__(self, directory: Union[str, Path],
-                 memory_bytes: int = DEFAULT_MEMORY_BYTES) -> None:
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
         self.directory = Path(directory)
         self.counters = CacheCounters()
+        self.lock_timeout = float(lock_timeout)
+        #: Times :meth:`locked` gave up waiting on a wedged holder and let
+        #: the caller double-compute instead of deadlocking.
+        self.lock_timeouts = 0
         self._memory_bytes = int(memory_bytes)
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._memory_used = 0
         self._lock = threading.Lock()
         self._key_locks: Dict[str, threading.Lock] = {}
+        self._swept_stale_tmp = False
 
     # -------------------------------------------------------------- views
     def view(self) -> "StageCacheView":
@@ -269,17 +289,26 @@ class StageCache:
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         """Persist a payload atomically (write-then-rename) and remember it
-        in the memory layer."""
+        in the memory layer.  A crash between write and rename leaves only
+        a ``.tmp-*.npz`` orphan — never a torn entry — which
+        :meth:`sweep_stale_tmp` reclaims on a later run."""
+        faultpoints.reach("cache.store")
         payload = dict(payload)
         payload["version"] = np.int64(CACHE_VERSION)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp_once()
         fd, tmp_path = tempfile.mkstemp(
             prefix=".tmp-", suffix=".npz", dir=self.directory
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **payload)
+            faultpoints.reach("cache.store.tmp")
             os.replace(tmp_path, self._entry_path(key))
+        except faultpoints.FaultInjected:
+            # Simulated crash between write and rename: leave the orphan
+            # on disk exactly as a kill would.
+            raise
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -296,6 +325,53 @@ class StageCache:
             if lock is None:
                 lock = self._key_locks[key] = threading.Lock()
             return lock
+
+    @contextmanager
+    def locked(self, key: str,
+               timeout: Optional[float] = None) -> Iterator[bool]:
+        """Hold ``key``'s dedupe lock for the duration of the block —
+        *bounded*: after ``timeout`` seconds (default
+        :attr:`lock_timeout`) waiting on a wedged holder, the block runs
+        anyway without the lock (yielding ``False``), trading dedupe for
+        liveness.  Entry stores are atomic, so two racing computations can
+        at worst duplicate work, never corrupt the cache."""
+        timeout = self.lock_timeout if timeout is None else float(timeout)
+        lock = self.key_lock(key)
+        acquired = lock.acquire(timeout=timeout)
+        if not acquired:
+            with self._lock:
+                self.lock_timeouts += 1
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                lock.release()
+
+    def sweep_stale_tmp(self,
+                        max_age_seconds: float = STALE_TMP_SECONDS) -> int:
+        """Delete orphaned ``.tmp-*.npz`` files older than
+        ``max_age_seconds`` (left by processes killed mid-store); returns
+        the number removed.  Young temp files are left alone — they may be
+        another live process's in-flight write."""
+        if not self.directory.is_dir():
+            return 0
+        cutoff = time.time() - float(max_age_seconds)
+        removed = 0
+        for path in self.directory.glob(".tmp-*.npz"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _sweep_stale_tmp_once(self) -> None:
+        with self._lock:
+            if self._swept_stale_tmp:
+                return
+            self._swept_stale_tmp = True
+        self.sweep_stale_tmp()
 
     def count_hit(self, counters: Optional[CacheCounters] = None) -> None:
         with self._lock:
@@ -340,6 +416,7 @@ class StageCache:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         if not self.directory.is_dir():
             return (0, 0)
+        self.sweep_stale_tmp()
         entries: List[Tuple[float, int, Path]] = []
         total = 0
         for path in self.directory.glob("*.npz"):
@@ -450,6 +527,9 @@ class StageCacheView:
     def key_lock(self, key: str) -> threading.Lock:
         return self.cache.key_lock(key)
 
+    def locked(self, key: str, timeout: Optional[float] = None):
+        return self.cache.locked(key, timeout=timeout)
+
     def count_hit(self) -> None:
         self.cache.count_hit(self.counters)
 
@@ -550,6 +630,8 @@ def unpack_reference(payload: Dict[str, Any]) -> Tuple[np.ndarray, float]:
 
 __all__ = [
     "CACHE_VERSION",
+    "DEFAULT_LOCK_TIMEOUT",
+    "STALE_TMP_SECONDS",
     "CacheCounters",
     "CacheStats",
     "CachedSubspace",

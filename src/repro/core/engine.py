@@ -36,7 +36,6 @@ Protocol sequence (single source)
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -58,6 +57,7 @@ from repro.quantization.rounding import RoundingQuantizer
 from repro.stages.base import SourceState, Stage, StageContext, StageEffect
 from repro.stages.distributed import DistributedStage, DistributedStageContext
 from repro.stages.qt import QuantizeStage
+from repro.utils.clock import perf_counter
 from repro.utils.parallel import resolve_jobs
 from repro.utils.random import SeedLike, as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
@@ -289,7 +289,7 @@ class StagePipeline:
             stage.handshake(ctx)
 
         # ---------------------------------------------------------- source
-        source_start = time.perf_counter()
+        source_start = perf_counter()
         state = SourceState(points=points)
         lifts = []
         details: Dict[str, float] = {}
@@ -313,21 +313,21 @@ class StagePipeline:
                 lifts.append(effect.lift)
             details.update(effect.details)
         wire = encode_for_wire(state)
-        source_seconds = time.perf_counter() - source_start
+        source_seconds = perf_counter() - source_start
 
         for tag, payload, bits in wire.messages:
             network.send(_SOURCE, "server", payload, tag=tag, significant_bits=bits)
         network.advance_round()
 
         # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
+        server_start = perf_counter()
         summary_points = wire.decode()
         solver = self._server_solver(ctx.derive_seed())
         result = solver.fit(summary_points, wire.weights)
         centers = result.centers
         for lift in reversed(lifts):
             centers = lift(centers)
-        server_seconds = time.perf_counter() - server_start
+        server_seconds = perf_counter() - server_start
 
         report = PipelineReport(
             algorithm=self.name,
@@ -360,11 +360,14 @@ class StagePipeline:
 
         The per-key lock makes concurrent cells racing on the same prefix
         dedupe in-process: the first computes and stores, the rest block and
-        hit.  A stored entry that cannot be honoured (corrupt file, version
-        skew, unbuildable lift) falls through to recomputation — the cache
-        degrades to a slower run, never to a wrong or crashed one.
+        hit.  The wait is bounded (``StageCache.lock_timeout``): a holder
+        wedged mid-compute degrades dedupe to double-compute, never to a
+        deadlocked sweep.  A stored entry that cannot be honoured (corrupt
+        file, version skew, unbuildable lift) falls through to
+        recomputation — the cache degrades to a slower run, never to a
+        wrong or crashed one.
         """
-        with cache.key_lock(key):
+        with cache.locked(key):
             payload = cache.lookup(key)
             if payload is not None:
                 rebuilt = unpack_effect(payload, stage, state)
@@ -504,12 +507,12 @@ class DistributedStagePipeline:
             )
 
         # ---------------------------------------------------------- server
-        server_start = time.perf_counter()
+        server_start = perf_counter()
         result = cluster.server.solve_kmeans(coreset)
         centers = result.centers
         for lift in reversed(lifts):
             centers = lift(centers)
-        server_seconds = time.perf_counter() - server_start
+        server_seconds = perf_counter() - server_start
 
         failed = len(cluster.failed_source_ids)
         report = PipelineReport(

@@ -32,7 +32,6 @@ and the query cost reflects only unexpired data.
 from __future__ import annotations
 
 import itertools
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple

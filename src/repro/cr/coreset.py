@@ -65,6 +65,33 @@ class Coreset:
         return float(self.weights.sum())
 
     # ------------------------------------------------------------------ API
+    def to_state(self) -> dict:
+        """JSON-able snapshot of the coreset.
+
+        ``tolist()`` round-trips float64 exactly, so
+        :meth:`from_state` rebuilds a bit-identical coreset — the unit the
+        streaming snapshot/restore machinery serializes.
+        """
+        return {
+            "points": self.points.tolist(),
+            "weights": self.weights.tolist(),
+            "shift": self.shift,
+            "dimension": self.dimension,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Coreset":
+        """Rebuild a coreset from a :meth:`to_state` snapshot."""
+        dimension = int(state.get("dimension", 0))
+        points = np.asarray(state["points"], dtype=float)
+        if points.size == 0:
+            points = points.reshape(0, dimension)
+        return cls(
+            points,
+            np.asarray(state["weights"], dtype=float),
+            float(state.get("shift", 0.0)),
+        )
+
     def cost(self, centers: np.ndarray) -> float:
         """Coreset k-means cost (Eq. 4) for a candidate center set."""
         return weighted_kmeans_cost(self.points, centers, self.weights, self.shift)

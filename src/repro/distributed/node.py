@@ -9,7 +9,6 @@ reads another node's data; anything that leaves the node goes through the
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Tuple
 
 import numpy as np
@@ -20,6 +19,7 @@ from repro.dr.jl import JLProjection
 from repro.kmeans.bicriteria import BicriteriaResult, bicriteria_approximation
 from repro.kmeans.cost import assign_to_centers
 from repro.quantization.rounding import RoundingQuantizer
+from repro.utils.clock import perf_counter
 from repro.utils.linalg import safe_svd
 from repro.utils.random import SeedLike, as_generator, weighted_indices
 from repro.utils.validation import check_matrix, check_positive_int
@@ -75,9 +75,9 @@ class DataSourceNode:
         return int(self.points.shape[1])
 
     def _timed(self, fn, *args, **kwargs):
-        start = time.perf_counter()
+        start = perf_counter()
         result = fn(*args, **kwargs)
-        self.compute_seconds += time.perf_counter() - start
+        self.compute_seconds += perf_counter() - start
         return result
 
     def send_to_server(self, payload, tag: str, significant_bits: Optional[int] = None,

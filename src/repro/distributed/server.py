@@ -7,7 +7,6 @@ still timed separately for completeness.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -16,6 +15,7 @@ from repro.cr.coreset import Coreset, merge_coresets
 from repro.distributed.conditions import DeliveryError
 from repro.distributed.network import SimulatedNetwork
 from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
+from repro.utils.clock import perf_counter
 from repro.utils.linalg import safe_svd
 from repro.utils.random import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -61,9 +61,9 @@ class EdgeServer:
 
     # -------------------------------------------------------------- helpers
     def _timed(self, fn, *args, **kwargs):
-        start = time.perf_counter()
+        start = perf_counter()
         result = fn(*args, **kwargs)
-        self.compute_seconds += time.perf_counter() - start
+        self.compute_seconds += perf_counter() - start
         return result
 
     def send_to_source(self, node_id: str, payload, tag: str,

@@ -11,13 +11,20 @@ lifts the centers back through the stream's DR maps.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Tuple
 
 from repro.cr.coreset import Coreset, merge_coresets
 from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
 from repro.streaming.source import SourceUpdate
-from repro.utils.random import SeedLike, as_generator, derive_seed
+from repro.utils import faultpoints
+from repro.utils.clock import perf_counter
+from repro.utils.random import (
+    SeedLike,
+    as_generator,
+    derive_seed,
+    generator_state,
+    restore_generator,
+)
 from repro.utils.validation import check_positive_int
 
 
@@ -53,6 +60,7 @@ class StreamingServer:
     # ------------------------------------------------------------------ API
     def fold(self, update: SourceUpdate) -> None:
         """Apply one incremental summary: retire then add."""
+        faultpoints.reach("streaming.fold")
         for bucket_id in update.retired_ids:
             self._buckets.pop((update.source_id, bucket_id), None)
         for bucket in update.added:
@@ -82,7 +90,7 @@ class StreamingServer:
         Returns ``(result, coreset, seconds)``; centers are in the stream's
         reduced space — the engine lifts them back.
         """
-        start = time.perf_counter()
+        start = perf_counter()
         coreset = self.global_coreset()
         solver = WeightedKMeans(
             k=self.k,
@@ -91,6 +99,52 @@ class StreamingServer:
             seed=derive_seed(self._rng),
         )
         result = solver.fit(coreset.points, coreset.weights)
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         self.compute_seconds += seconds
         return result, coreset, seconds
+
+    # ------------------------------------------------------- snapshotting
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of the server's complete state.
+
+        Covers the per-(source, bucket) coreset map, the solver
+        configuration, the accounting counters, and — crucially — the exact
+        position of the per-query seed generator (the stream-wide rng
+        handshake): a server rebuilt by :meth:`restore` derives the same
+        solver seed for its next query and answers it bit-identically.
+        """
+        return {
+            "k": self.k,
+            "n_init": self.n_init,
+            "max_iterations": self.max_iterations,
+            "rng": generator_state(self._rng),
+            "compute_seconds": self.compute_seconds,
+            "updates_folded": self.updates_folded,
+            "buckets": [
+                {
+                    "source_id": source_id,
+                    "bucket_id": bucket_id,
+                    "coreset": self._buckets[(source_id, bucket_id)].to_state(),
+                }
+                for source_id, bucket_id in sorted(self._buckets)
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "StreamingServer":
+        """Rebuild a server from a :meth:`snapshot` (mid-stream queries on
+        the restored server are bit-identical to the original's)."""
+        server = cls(
+            k=int(snapshot["k"]),
+            n_init=int(snapshot.get("n_init", 5)),
+            max_iterations=int(snapshot.get("max_iterations", 100)),
+        )
+        server._rng = restore_generator(snapshot["rng"])
+        server._buckets = {
+            (str(b["source_id"]), int(b["bucket_id"])):
+                Coreset.from_state(b["coreset"])
+            for b in snapshot.get("buckets", ())
+        }
+        server.compute_seconds = float(snapshot.get("compute_seconds", 0.0))
+        server.updates_folded = int(snapshot.get("updates_folded", 0))
+        return server

@@ -23,7 +23,6 @@ timestamped batch it
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +33,7 @@ from repro.distributed.conditions import DeliveryError
 from repro.distributed.network import SimulatedNetwork
 from repro.stages.base import CenterLift, SourceState, Stage, StageContext
 from repro.streaming.tree import Bucket, CoresetTree
+from repro.utils.clock import perf_counter
 
 
 @dataclass
@@ -116,7 +116,7 @@ class StreamingSource:
         ``compress`` steps of all sources in parallel; the network delta is
         shipped afterwards by :meth:`flush`, serially, in source order.
         """
-        start = time.perf_counter()
+        start = perf_counter()
         state = SourceState(points=np.asarray(batch, dtype=float))
         lifts: List[CenterLift] = []
         for stage in self.stages:
@@ -137,7 +137,7 @@ class StreamingSource:
         leaf = Coreset(state.points, state.weights, state.shift)
         self.tree.insert(leaf, batch_index)
         self.tree.expire(batch_index)
-        self.compute_seconds += time.perf_counter() - start
+        self.compute_seconds += perf_counter() - start
         self.batches_ingested += 1
 
         self._pending_quantizer = state.wire_quantizer
@@ -158,6 +158,48 @@ class StreamingSource:
         """
         self.tree.expire(batch_index)
         return self._transmit_delta(batch_index, None)
+
+    # ------------------------------------------------------- snapshotting
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of the source's mutable stream state.
+
+        Covers the coreset tree, the wire bookkeeping (which buckets the
+        server already holds), and the counters.  The stage composition,
+        context, and network are configuration — re-supplied by the
+        constructor on restore.  The center-lift chain is *not* serialized
+        (lifts are closures): it is deterministic given the handshaken
+        stage seeds and rebuilds on the first batch compressed after a
+        restore, exactly as it was built on the stream's first batch.
+        """
+        return {
+            "source_id": self.source_id,
+            "tree": self.tree.snapshot(),
+            "compute_seconds": self.compute_seconds,
+            "batches_ingested": self.batches_ingested,
+            "quantizer_bits": self.quantizer_bits,
+            "delivery_failures": self.delivery_failures,
+            "shipped": sorted(self._shipped),
+        }
+
+    def restore(self, snapshot: dict) -> "StreamingSource":
+        """Replace this source's stream state with a :meth:`snapshot`'s
+        (the source must be constructed with the same configuration);
+        returns ``self`` for chaining."""
+        if snapshot.get("source_id") != self.source_id:
+            raise ValueError(
+                f"snapshot belongs to source {snapshot.get('source_id')!r}, "
+                f"this is {self.source_id!r}"
+            )
+        self.tree.restore(snapshot["tree"])
+        self.compute_seconds = float(snapshot.get("compute_seconds", 0.0))
+        self.batches_ingested = int(snapshot.get("batches_ingested", 0))
+        bits = snapshot.get("quantizer_bits")
+        self.quantizer_bits = None if bits is None else int(bits)
+        self.delivery_failures = int(snapshot.get("delivery_failures", 0))
+        self._shipped = {int(b) for b in snapshot.get("shipped", ())}
+        self.lifts = None
+        self._pending_quantizer = None
+        return self
 
     # ------------------------------------------------------------ internals
     def _reduce(self, coreset: Coreset) -> Coreset:

@@ -1,0 +1,44 @@
+"""Wall-clock indirection for byte-stable experiment records.
+
+Every timed section in the library reads the clock through
+:func:`perf_counter`.  Normally that is :func:`time.perf_counter`
+verbatim; with ``REPRO_FROZEN_CLOCK=1`` in the environment (or after
+:func:`freeze`), the clock returns a constant, so every measured duration
+collapses to exactly ``0.0``.
+
+Why anyone would want a broken stopwatch: the crash-recovery acceptance
+test compares the JSONL result store of a killed-then-resumed sweep
+*byte-for-byte* against an uninterrupted baseline run.  All record fields
+are deterministic functions of the seeds — except the wall-clock timings,
+which differ between any two processes.  Freezing the clock removes the
+only nondeterministic bytes, making "resumed == uncrashed" a literal
+file comparison instead of a field-by-field almost-equality.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+_FROZEN = os.environ.get("REPRO_FROZEN_CLOCK", "").strip() not in ("", "0")
+
+
+def frozen() -> bool:
+    """Whether the clock is currently frozen."""
+    return _FROZEN
+
+
+def freeze(value: bool = True) -> None:
+    """Freeze (or thaw) the clock in-process (tests; env wins at import)."""
+    global _FROZEN
+    _FROZEN = bool(value)
+
+
+def perf_counter() -> float:
+    """:func:`time.perf_counter`, or a constant when the clock is frozen."""
+    if _FROZEN:
+        return 0.0
+    return time.perf_counter()
+
+
+__all__ = ["frozen", "freeze", "perf_counter"]

@@ -163,3 +163,43 @@ def check_all_distinct(rngs: Iterable[np.random.Generator]) -> bool:
     """Best-effort check that generators are distinct objects (debug aid)."""
     rng_list = list(rngs)
     return len({id(r) for r in rng_list}) == len(rng_list)
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """JSON-able snapshot of a generator's exact position in its stream.
+
+    Captures the underlying bit generator's name and state with every numpy
+    scalar/array converted to plain python values, so the result survives a
+    ``json.dumps`` round trip.  :func:`restore_generator` rebuilds a
+    generator that continues the stream bit-identically — the piece that
+    lets streaming servers snapshot their per-query seed derivation.
+    """
+
+    def jsonable(obj):
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, dict):
+            return {key: jsonable(value) for key, value in obj.items()}
+        return obj
+
+    return jsonable(rng.bit_generator.state)
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot.
+
+    The returned generator produces exactly the draws the snapshotted one
+    would have produced next (numpy's bit-generator state setters accept
+    the plain-python form directly).
+    """
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None or not isinstance(cls, type) or not issubclass(
+        cls, np.random.BitGenerator
+    ):
+        raise ValueError(f"unknown bit generator in snapshot: {name!r}")
+    bit_generator = cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)

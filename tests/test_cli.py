@@ -271,7 +271,12 @@ class TestSweepSubcommand:
         records = api.ResultStore(store_path).load()
         assert len(records) == 2
         assert records[0].run_seeds == records[1].run_seeds  # paired seeds
-        assert records[0].cache["misses"] > 0  # per-cell accounting persisted
+        # Cache accounting lives in the journal (not the records, which
+        # must stay identical between cold and resumed runs).
+        journal = api.SweepJournal.for_store(store_path)
+        done = [e for e in journal.entries() if e["event"] == "done"]
+        assert len(done) == 2
+        assert sum(e["cache"]["misses"] for e in done) > 0
 
     def test_plain_spec_runs_as_one_cell(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.toml"

@@ -1,0 +1,134 @@
+"""Chaos crash-injection matrix: kill `repro sweep` at every registered
+sweep faultpoint, resume, and byte-diff the store against an uncrashed run.
+
+Each matrix entry launches the example quantization sweep as a subprocess
+with ``REPRO_FAULTPOINT=<name>:exit:<hit>`` — a hard ``os._exit`` with no
+unwinding, no lock release, no buffer flushing — then re-runs it with
+``--resume`` and demands the recovered store be byte-identical to the
+baseline (both under ``REPRO_FROZEN_CLOCK=1``, which zeroes the only
+nondeterministic record bytes).
+
+Runs in the CI chaos job (`pytest -m chaos`); when
+``REPRO_CRASH_ARTIFACT_DIR`` is set, each entry's post-crash journal,
+quarantine file, and store are copied there for upload.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.utils import faultpoints
+
+pytestmark = pytest.mark.chaos
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SPEC = REPO_ROOT / "examples" / "specs" / "quantization_sweep.toml"
+
+#: Hit at which each faultpoint dies, chosen to land mid-sweep (the example
+#: sweep has 8 cells; cache stores / journal events fire once per miss or
+#: cell).  Every name in SWEEP_FAULTPOINTS must appear here — the matrix
+#: covers the whole registry by construction.
+KILL_AT = {
+    "store.append": 4,
+    "store.append.torn": 2,
+    "sweep.journal.start": 5,
+    "sweep.journal.done": 3,
+    "cache.store": 3,
+    "cache.store.tmp": 3,
+}
+
+
+def run_sweep_cli(tmp_path: Path, *extra: str, faultpoint: str = "") -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_FROZEN_CLOCK"] = "1"
+    env.pop("REPRO_FAULTPOINT", None)
+    if faultpoint:
+        env["REPRO_FAULTPOINT"] = faultpoint
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", str(SPEC),
+         "--store", str(tmp_path / "sweep.jsonl"),
+         "--cache-dir", str(tmp_path / "cache"),
+         "--jobs", "1", *extra],
+        env=env, cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_bytes(tmp_path_factory) -> bytes:
+    tmp_path = tmp_path_factory.mktemp("baseline")
+    completed = run_sweep_cli(tmp_path)
+    assert completed.returncode == 0, completed.stderr
+    return (tmp_path / "sweep.jsonl").read_bytes()
+
+
+def save_artifacts(name: str, tmp_path: Path) -> None:
+    """Copy the crash debris (journal, quarantine, store) for CI upload."""
+    artifact_root = os.environ.get("REPRO_CRASH_ARTIFACT_DIR")
+    if not artifact_root:
+        return
+    target = Path(artifact_root) / name.replace(".", "-")
+    target.mkdir(parents=True, exist_ok=True)
+    for pattern in ("*.jsonl", "*.journal", "*.corrupt"):
+        for path in tmp_path.glob(pattern):
+            shutil.copy2(path, target / path.name)
+
+
+def test_matrix_covers_every_sweep_faultpoint():
+    assert set(KILL_AT) == set(faultpoints.SWEEP_FAULTPOINTS)
+
+
+@pytest.mark.parametrize("name", sorted(KILL_AT))
+def test_kill_resume_byte_identical(name, tmp_path, baseline_bytes):
+    killed = run_sweep_cli(
+        tmp_path, faultpoint=f"{name}:exit:{KILL_AT[name]}"
+    )
+    assert killed.returncode == faultpoints.EXIT_CODE, (
+        f"expected the injected crash exit code at {name}, got "
+        f"{killed.returncode}\n{killed.stderr}"
+    )
+    store_path = tmp_path / "sweep.jsonl"
+    # Whatever the kill left behind, the tolerant loader accepts it and
+    # sees only complete records — a clean grid-order prefix.
+    committed = api.ResultStore(store_path).load()
+    assert len(committed) < 8
+    save_artifacts(name, tmp_path)
+
+    resumed = run_sweep_cli(tmp_path, "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    if committed:
+        assert f"resumed: {len(committed)}/8 cell(s)" in resumed.stdout
+    assert store_path.read_bytes() == baseline_bytes
+
+
+def test_torn_append_kill_is_visible_to_verify_and_healed_by_resume(
+    tmp_path, baseline_bytes
+):
+    """The torn-write kill specifically must leave the crash signature
+    `repro store verify` reports (exit 1, torn trailing line)."""
+    killed = run_sweep_cli(tmp_path, faultpoint="store.append.torn:exit:2")
+    assert killed.returncode == faultpoints.EXIT_CODE
+    store_path = tmp_path / "sweep.jsonl"
+    assert not store_path.read_bytes().endswith(b"\n")
+
+    env = {**os.environ, "PYTHONPATH": "src"}
+    env.pop("REPRO_FAULTPOINT", None)
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro", "store", "verify", str(store_path)],
+        env=env, cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert verify.returncode == 1
+    assert "torn trailing line" in verify.stdout
+
+    resumed = run_sweep_cli(tmp_path, "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    assert store_path.read_bytes() == baseline_bytes
+    # The torn bytes were quarantined beside the store, not dropped.
+    assert api.ResultStore(store_path).corrupt_path.exists()

@@ -1,0 +1,129 @@
+"""The process-level fault-injection registry (`repro.utils.faultpoints`)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.utils import faultpoints
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faultpoints.disarm()
+    yield
+    faultpoints.disarm()
+
+
+class TestRegistry:
+    def test_registered_names_are_declared(self):
+        names = faultpoints.registered()
+        assert "store.append" in names
+        assert "sweep.journal.start" in names
+        assert "streaming.fold" in names
+        assert set(faultpoints.SWEEP_FAULTPOINTS) <= set(names)
+        # streaming.fold is not on the sweep path.
+        assert "streaming.fold" not in faultpoints.SWEEP_FAULTPOINTS
+
+    def test_arm_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown faultpoint"):
+            faultpoints.arm("no.such.point")
+        with pytest.raises(KeyError, match="unknown faultpoint"):
+            faultpoints.is_armed("no.such.point")
+
+    def test_arm_bad_action_raises(self):
+        with pytest.raises(ValueError, match="action"):
+            faultpoints.arm("store.append", action="explode")
+
+    def test_arm_bad_at_raises(self):
+        with pytest.raises(ValueError, match="at"):
+            faultpoints.arm("store.append", at=0)
+
+
+class TestReach:
+    def test_disarmed_reach_is_a_no_op(self):
+        for name in faultpoints.registered():
+            faultpoints.reach(name)  # no raise, no exit
+
+    def test_armed_reach_raises_and_consumes(self):
+        faultpoints.arm("store.append")
+        assert faultpoints.is_armed("store.append")
+        with pytest.raises(faultpoints.FaultInjected, match="store.append"):
+            faultpoints.reach("store.append")
+        # One-shot: the arm is consumed by firing.
+        assert not faultpoints.is_armed("store.append")
+        faultpoints.reach("store.append")
+
+    def test_at_counts_hits_before_firing(self):
+        faultpoints.arm("store.append", at=3)
+        faultpoints.reach("store.append")
+        faultpoints.reach("store.append")
+        with pytest.raises(faultpoints.FaultInjected):
+            faultpoints.reach("store.append")
+
+    def test_other_points_unaffected(self):
+        faultpoints.arm("store.append")
+        faultpoints.reach("sweep.journal.start")
+        faultpoints.reach("cache.store")
+
+    def test_disarm_one_name(self):
+        faultpoints.arm("store.append")
+        faultpoints.arm("cache.store")
+        faultpoints.disarm("store.append")
+        assert not faultpoints.is_armed("store.append")
+        assert faultpoints.is_armed("cache.store")
+
+
+class TestContextManager:
+    def test_armed_scopes_the_arm(self):
+        with faultpoints.armed("store.append"):
+            assert faultpoints.is_armed("store.append")
+            with pytest.raises(faultpoints.FaultInjected):
+                faultpoints.reach("store.append")
+        assert not faultpoints.is_armed("store.append")
+
+    def test_armed_disarms_even_unfired(self):
+        with faultpoints.armed("store.append"):
+            pass
+        assert not faultpoints.is_armed("store.append")
+
+
+class TestEnvArming:
+    def test_env_grammar_parses_action_and_at(self):
+        parsed = faultpoints.parse_env("store.append:raise:3")
+        assert parsed == ("store.append", "raise", 3)
+        # Action defaults to exit: the env var exists for kill tests.
+        assert faultpoints.parse_env("store.append") == ("store.append", "exit", 1)
+        assert faultpoints.parse_env("cache.store:raise") == ("cache.store", "raise", 1)
+
+    def test_env_bad_grammar_raises(self):
+        with pytest.raises(ValueError, match="at must be an integer"):
+            faultpoints.parse_env("store.append:raise:zero")
+        with pytest.raises(KeyError, match="unknown faultpoint"):
+            faultpoints.parse_env("nope:raise")
+        with pytest.raises(ValueError, match="action"):
+            faultpoints.parse_env("store.append:boom")
+
+    def test_exit_action_kills_the_process(self, tmp_path):
+        """The `exit` action is a hard death (os._exit), visible only from
+        outside: a child armed via the environment dies with EXIT_CODE."""
+        code = (
+            "from repro.utils import faultpoints\n"
+            "faultpoints.reach('store.append')\n"
+            "print('survived first')\n"
+            "faultpoints.reach('store.append')\n"
+            "print('never printed')\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_FAULTPOINT"] = "store.append:exit:2"
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=os.getcwd(),
+            capture_output=True, text=True,
+        )
+        assert out.returncode == faultpoints.EXIT_CODE
+        assert "survived first" in out.stdout
+        assert "never printed" not in out.stdout

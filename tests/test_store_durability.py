@@ -1,0 +1,236 @@
+"""Crash durability of the JSONL result store: torn tails, quarantine,
+verify/repair, and the `repro store` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro import api
+from repro.api.store import RunRecord, StoreCheck
+from repro.cli import main
+from repro.utils import faultpoints
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faultpoints.disarm()
+    yield
+    faultpoints.disarm()
+
+
+def record(i: int) -> RunRecord:
+    return RunRecord(
+        algorithm="jl-fss",
+        spec={"x": i},
+        summary={"mean_normalized_cost": float(i)},
+        cell_id=f"cell-{i}",
+    )
+
+
+def record_line(i: int) -> str:
+    return json.dumps(record(i).to_dict(), sort_keys=True)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return api.ResultStore(tmp_path / "s.jsonl")
+
+
+class TestDurableAppend:
+    def test_append_frames_one_terminated_line_per_record(self, store):
+        store.append(record(0))
+        store.append(record(1))
+        text = store.path.read_text()
+        assert text.endswith("\n") and text.count("\n") == 2
+        assert len(store.load()) == 2
+
+    def test_torn_write_faultpoint_leaves_unterminated_prefix(self, store):
+        store.append(record(0))
+        with faultpoints.armed("store.append.torn"):
+            with pytest.raises(faultpoints.FaultInjected):
+                store.append(record(1))
+        raw = store.path.read_bytes()
+        assert not raw.endswith(b"\n")  # flushed, fsynced, torn — a real crash
+        # The committed record is untouched; the torn half is not a record.
+        assert len(store.load()) == 1
+
+    def test_append_after_crash_heals_then_appends(self, store):
+        store.append(record(0))
+        with faultpoints.armed("store.append.torn"):
+            with pytest.raises(faultpoints.FaultInjected):
+                store.append(record(1))
+        store.append(record(1))  # recovery path: heal tail, then append
+        records = store.load()
+        assert [r.cell_id for r in records] == ["cell-0", "cell-1"]
+        assert store.corrupt_path.exists()  # the torn half was quarantined
+
+    def test_extend_partial_failure_keeps_committed_prefix(self, store):
+        with faultpoints.armed("store.append", at=3):
+            with pytest.raises(faultpoints.FaultInjected):
+                store.extend([record(0), record(1), record(2), record(3)])
+        # Records before the failing append are durable; none are torn.
+        assert [r.cell_id for r in store.load()] == ["cell-0", "cell-1"]
+
+
+class TestTolerantLoad:
+    def test_missing_and_empty_files_load_empty(self, store):
+        assert store.load() == []
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.touch()
+        assert store.load() == []
+        assert store.verify() == StoreCheck(path=str(store.path), records=0)
+
+    def test_torn_parseable_tail_gains_its_newline(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write(record_line(1))  # complete record, missing \n
+        assert len(store.load()) == 2
+        assert store.path.read_text().endswith("\n")
+        assert not store.corrupt_path.exists()  # nothing was lost
+
+    def test_torn_garbage_tail_is_quarantined(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write(record_line(1)[:25])
+        assert len(store.load()) == 1
+        assert record_line(1)[:25] in store.corrupt_path.read_text()
+
+    def test_whole_file_torn_heals_to_empty(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(record_line(0)[:10])
+        assert store.load() == []
+        assert store.path.read_bytes() == b""
+
+    def test_strict_load_raises_on_torn_tail(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write(record_line(1)[:25])
+        with pytest.raises(ValueError, match="torn trailing line"):
+            store.load(strict=True)
+        # strict never mutates: the torn bytes are still there.
+        assert not store.path.read_text().endswith("\n")
+
+    def test_complete_invalid_line_always_raises_with_location(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write("not-json\n")
+        store.append(record(1))
+        with pytest.raises(ValueError, match=r"s\.jsonl:2"):
+            store.load()
+        with pytest.raises(ValueError, match=r"s\.jsonl:2"):
+            store.load(strict=True)
+
+    def test_unknown_fields_raise_as_invalid_record(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = record(0).to_dict()
+        payload["mystery"] = 1
+        store.path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="unknown RunRecord fields"):
+            store.load()
+
+
+class TestVerifyRepair:
+    def test_verify_is_non_mutating(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write("junk\n" + record_line(1)[:25])
+        before = store.path.read_bytes()
+        check = store.verify()
+        assert store.path.read_bytes() == before
+        assert check.torn_tail and check.corrupt_lines == (2,)
+        assert check.records == 1 and not check.ok
+
+    def test_verify_counts_parseable_torn_tail_as_uncommitted(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write(record_line(1))
+        check = store.verify()
+        assert check.torn_tail and check.records == 1 and not check.corrupt_lines
+
+    def test_repair_quarantines_and_rewrites(self, store):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write("junk\n")
+        store.append(record(1))
+        with store.path.open("a") as handle:
+            handle.write(record_line(2)[:25])
+        kept, quarantined = store.repair()
+        # The count covers complete corrupt lines; the torn tail is healed
+        # (and its bytes quarantined) separately, matching verify().
+        assert (kept, quarantined) == (2, 1)
+        assert store.verify().ok
+        assert [r.cell_id for r in store.load()] == ["cell-0", "cell-1"]
+        corrupt = store.corrupt_path.read_text()
+        assert "junk" in corrupt and record_line(2)[:25] in corrupt
+
+    def test_repair_of_clean_store_is_a_no_op(self, store):
+        store.append(record(0))
+        before = store.path.read_bytes()
+        assert store.repair() == (1, 0)
+        assert store.path.read_bytes() == before
+        assert store.repair() == (1, 0) if store.path.exists() else True
+
+    def test_repair_of_missing_store(self, store):
+        assert store.repair() == (0, 0)
+
+
+class TestProvenance:
+    def test_git_commit_is_memoized_and_tolerant(self, monkeypatch):
+        from repro.api import store as store_module
+
+        store_module._git_commit.cache_clear()
+        commit = store_module._git_commit()
+        assert commit is None or (isinstance(commit, str) and len(commit) >= 7)
+        # Memoized: a second call must not re-run git (poison PATH to prove).
+        monkeypatch.setenv("PATH", "/nonexistent")
+        assert store_module._git_commit() == commit
+        # With git unreachable and the memo cleared, degrade to None.
+        store_module._git_commit.cache_clear()
+        assert store_module._git_commit() is None
+        store_module._git_commit.cache_clear()
+
+
+class TestStoreCLI:
+    def test_verify_ok_store(self, store, capsys):
+        store.append(record(0))
+        assert main(["store", "verify", str(store.path)]) == 0
+        assert "1 record(s), ok" in capsys.readouterr().out
+
+    def test_verify_unhealthy_store_exits_nonzero(self, store, capsys):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write(record_line(1)[:20])
+        with pytest.raises(SystemExit):
+            main(["store", "verify", str(store.path)])
+        assert "torn trailing line" in capsys.readouterr().out
+
+    def test_repair_cli_heals(self, store, capsys):
+        store.append(record(0))
+        with store.path.open("a") as handle:
+            handle.write("junk\n")
+        main(["store", "repair", str(store.path)])
+        out = capsys.readouterr().out
+        assert "quarantined 1 line(s)" in out
+        assert main(["store", "verify", str(store.path)]) == 0
+
+    def test_repair_cli_clean_store(self, store, capsys):
+        store.append(record(0))
+        main(["store", "repair", str(store.path)])
+        assert "nothing to repair" in capsys.readouterr().out
+
+    def test_unwritable_store_is_a_one_line_error(self, tmp_path, capsys):
+        if os.geteuid() == 0:
+            pytest.skip("permission bits do not bind as root")
+        sealed = tmp_path / "sealed"
+        sealed.mkdir()
+        sealed.chmod(stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            with pytest.raises(SystemExit, match="cannot write store"):
+                main(["run", "--algorithm", "uniform", "--k", "2",
+                      "--store", str(sealed / "sub" / "s.jsonl")])
+        finally:
+            sealed.chmod(stat.S_IRWXU)

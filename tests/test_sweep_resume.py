@@ -1,0 +1,290 @@
+"""Resumable sweeps: the per-cell journal, crash injection at every sweep
+faultpoint, byte-identical `--resume`, and failed-cell capture."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api.journal import SweepJournal
+from repro.api.store import spec_hash
+from repro.utils import clock, faultpoints
+
+SWEEP_TOML = """\
+[base]
+runs = 2
+seed = 7
+
+[base.pipeline]
+algorithm = "jl-fss"
+k = 2
+coreset_size = 30
+jl_dimension = 6
+
+[base.data]
+name = "mnist"
+n = 120
+d = 36
+
+[axes]
+quantize_bits = [6, 10]
+net = ["ideal", "lossy"]
+"""
+
+
+@pytest.fixture(autouse=True)
+def frozen_clock_and_clean_registry():
+    """Byte-identity tests need the only nondeterministic record bytes —
+    wall-clock timings — frozen to 0.0."""
+    clock.freeze(True)
+    faultpoints.disarm()
+    yield
+    clock.freeze(False)
+    faultpoints.disarm()
+
+
+def make_sweep() -> api.SweepSpec:
+    base = api.ExperimentSpec(
+        pipeline=api.PipelineConfig(algorithm="jl-fss", k=2,
+                                    coreset_size=30, jl_dimension=6),
+        data=api.DataSpec(name="mnist", n=120, d=36),
+        runs=2,
+        seed=7,
+    )
+    return api.SweepSpec(base=base, axes={
+        "quantize_bits": [6, 10],
+        "net": ["ideal", "lossy"],
+    })
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uncrashed frozen-clock run: the byte-identity reference."""
+    clock.freeze(True)
+    try:
+        store = api.ResultStore(tmp_path_factory.mktemp("baseline") / "s.jsonl")
+        outcomes = api.run_sweep(make_sweep(), store=store)
+    finally:
+        clock.freeze(False)
+    return outcomes, store.path.read_bytes()
+
+
+class TestJournal:
+    def test_clean_sweep_journals_start_done_per_cell(self, tmp_path):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        outcomes = api.run_sweep(make_sweep(), store=store)
+        journal = SweepJournal.for_store(store.path)
+        assert journal.path == store.path.with_name("s.jsonl.journal")
+        entries = journal.entries()
+        assert [e["event"] for e in entries].count("start") == 4
+        assert len(journal.done_keys()) == 4
+        assert not journal.in_flight()
+        assert journal.failed_entries() == []
+        done_keys = {(e[0], e[1]) for e in journal.done_keys()}
+        assert done_keys == {
+            (spec_hash(o.spec.to_dict()), o.cell_id) for o in outcomes
+        }
+
+    def test_done_entries_carry_cache_accounting(self, tmp_path):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        api.run_sweep(make_sweep(), store=store, cache=tmp_path / "cache")
+        journal = SweepJournal.for_store(store.path)
+        done = [e for e in journal.entries() if e["event"] == "done"]
+        assert sum(e["cache"]["misses"] for e in done) > 0
+
+    def test_crash_before_done_leaves_cell_in_flight(self, tmp_path):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        with faultpoints.armed("sweep.journal.done"):
+            with pytest.raises(faultpoints.FaultInjected):
+                api.run_sweep(make_sweep(), store=store)
+        journal = SweepJournal.for_store(store.path)
+        assert len(journal.in_flight()) == 1
+        # The executed-but-unjournaled cell has no store record: it re-runs.
+        resumed = api.run_sweep(make_sweep(), store=store, resume=True)
+        assert len(resumed) == 4
+        assert not journal.in_flight()
+
+    def test_journal_tolerates_torn_tail(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.start("h", "cell", 7)
+        with journal.path.open("a") as handle:
+            handle.write('{"event": "done", "spec_')  # torn mid-write
+        entries = journal.entries()
+        assert len(entries) == 1 and entries[0]["event"] == "start"
+
+
+class TestCrashResume:
+    """Crash at every sweep faultpoint, resume, and demand the store come
+    out byte-identical to the uncrashed baseline."""
+
+    # (faultpoint, hit number, whether the sweep needs a stage cache)
+    CRASHES = [
+        ("store.append", 2, False),
+        ("store.append.torn", 1, False),
+        ("sweep.journal.start", 3, False),
+        ("sweep.journal.done", 1, False),
+        ("cache.store", 1, True),
+        ("cache.store.tmp", 2, True),
+    ]
+
+    @pytest.mark.parametrize("name,at,needs_cache",
+                             CRASHES, ids=[c[0] for c in CRASHES])
+    def test_resume_is_byte_identical(self, tmp_path, baseline, name, at,
+                                      needs_cache):
+        _, base_bytes = baseline
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        cache = (tmp_path / "cache") if needs_cache else None
+        with faultpoints.armed(name, at=at):
+            with pytest.raises(faultpoints.FaultInjected):
+                api.run_sweep(make_sweep(), store=store, cache=cache)
+        outcomes = api.run_sweep(make_sweep(), store=store, cache=cache,
+                                 resume=True)
+        assert len(outcomes) == 4
+        assert store.path.read_bytes() == base_bytes
+
+    def test_resume_restores_committed_cells_without_rerunning(
+            self, tmp_path, baseline):
+        _, base_bytes = baseline
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        with faultpoints.armed("store.append", at=3):
+            with pytest.raises(faultpoints.FaultInjected):
+                api.run_sweep(make_sweep(), store=store)
+        committed = len(store.load())
+        assert committed == 2
+        outcomes = api.run_sweep(make_sweep(), store=store, resume=True)
+        restored = [o for o in outcomes if isinstance(o, api.RestoredOutcome)]
+        assert len(restored) == committed
+        assert all(o.restored for o in restored)
+        assert store.path.read_bytes() == base_bytes
+
+    def test_restored_outcomes_quack_like_executed_ones(self, baseline,
+                                                        tmp_path):
+        fresh, _ = baseline
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        api.run_sweep(make_sweep(), store=store)
+        before = store.path.read_bytes()
+        resumed = api.run_sweep(make_sweep(), store=store, resume=True)
+        assert all(isinstance(o, api.RestoredOutcome) for o in resumed)
+        for executed, restored in zip(fresh, resumed):
+            assert restored.cell_id == executed.cell_id
+            assert restored.label == executed.label
+            assert restored.run_seeds == executed.run_seeds
+            assert restored.summary.mean_normalized_cost == \
+                executed.summary.mean_normalized_cost
+            assert restored.cache_stats == {}
+        # Reporting works identically over restored outcomes...
+        assert api.compare_outcomes(resumed).rows == \
+            api.compare_outcomes(fresh).rows
+        # ...and resuming a complete sweep leaves the store untouched.
+        assert store.path.read_bytes() == before
+
+    def test_resume_with_parallel_jobs(self, tmp_path, baseline):
+        _, base_bytes = baseline
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        with faultpoints.armed("store.append", at=2):
+            with pytest.raises(faultpoints.FaultInjected):
+                api.run_sweep(make_sweep(), store=store, jobs=2)
+        outcomes = api.run_sweep(make_sweep(), store=store, jobs=2,
+                                 resume=True)
+        assert len(outcomes) == 4
+        assert store.path.read_bytes() == base_bytes
+
+    def test_resume_requires_a_store(self):
+        with pytest.raises(ValueError, match="resume.*store"):
+            api.run_sweep(make_sweep(), resume=True)
+
+    def test_hard_kill_then_cli_resume(self, tmp_path, baseline):
+        """A real os._exit mid-sweep (no unwinding, no cleanup), then
+        `repro sweep --resume` in a fresh process: byte-identical store."""
+        _, base_bytes = baseline
+        spec = tmp_path / "sweep.toml"
+        spec.write_text(SWEEP_TOML)
+        store_path = tmp_path / "s.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env["REPRO_FROZEN_CLOCK"] = "1"
+        argv = [sys.executable, "-m", "repro", "sweep", str(spec),
+                "--store", str(store_path)]
+        killed = subprocess.run(
+            argv + ["--jobs", "1"],
+            env={**env, "REPRO_FAULTPOINT": "store.append:exit:2"},
+            cwd=Path(__file__).resolve().parents[1],
+            capture_output=True, text=True,
+        )
+        assert killed.returncode == faultpoints.EXIT_CODE
+        assert len(api.ResultStore(store_path).load()) == 1
+        resumed = subprocess.run(
+            argv + ["--resume"], env=env,
+            cwd=Path(__file__).resolve().parents[1],
+            capture_output=True, text=True,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed: 1/4 cell(s)" in resumed.stdout
+        assert store_path.read_bytes() == base_bytes
+
+
+class TestFailedCells:
+    @pytest.fixture()
+    def failing_cell(self, monkeypatch):
+        """Patch the cell executor to blow up on one grid cell."""
+        real = api.run_experiment
+
+        def flaky(spec, **kwargs):
+            if kwargs.get("cell_id") == "quantize_bits=10,net=ideal":
+                raise RuntimeError("simulated cell bug")
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr("repro.api.runner.run_experiment", flaky)
+        return "quantize_bits=10,net=ideal"
+
+    def test_zero_budget_reraises(self, tmp_path, failing_cell):
+        with pytest.raises(RuntimeError, match="simulated cell bug"):
+            api.run_sweep(make_sweep(), store=api.ResultStore(tmp_path / "s.jsonl"))
+
+    def test_failure_captured_within_budget(self, tmp_path, failing_cell):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        outcomes = api.run_sweep(make_sweep(), store=store, max_failures=1)
+        failed = [o for o in outcomes if isinstance(o, api.FailedCell)]
+        assert len(failed) == 1 and len(outcomes) == 4
+        assert failed[0].cell_id == failing_cell
+        assert "simulated cell bug" in failed[0].error
+        assert failed[0].summary is None and failed[0].evaluations == []
+        # Failed cells are never persisted; the journal keeps the traceback.
+        assert {r.cell_id for r in store.load()} == {
+            o.cell_id for o in outcomes if not isinstance(o, api.FailedCell)
+        }
+        journal_failures = SweepJournal.for_store(store.path).failed_entries()
+        assert len(journal_failures) == 1
+        assert "simulated cell bug" in journal_failures[0]["error"]
+
+    def test_failed_row_in_comparison_table(self, tmp_path, failing_cell):
+        outcomes = api.run_sweep(make_sweep(), max_failures=1)
+        table = str(api.compare_outcomes(outcomes))
+        assert failing_cell in table           # the row keeps its grid slot
+        assert "jl-fss [failed]" in table      # tagged in the algorithm column
+
+    def test_resume_retries_failed_cells(self, tmp_path, failing_cell,
+                                         monkeypatch):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        api.run_sweep(make_sweep(), store=store, max_failures=1)
+        assert len(store.load()) == 3
+        # The bug is fixed (patch removed): --resume re-runs only the
+        # failed cell and completes the store.
+        monkeypatch.undo()
+        outcomes = api.run_sweep(make_sweep(), store=store, resume=True)
+        assert not any(isinstance(o, api.FailedCell) for o in outcomes)
+        assert sum(isinstance(o, api.RestoredOutcome) for o in outcomes) == 3
+        records = store.load()
+        assert len(records) == 4
+        assert len({(r.spec_hash, r.cell_id) for r in records}) == 4
+
+    def test_injected_faults_are_never_captured_as_failures(self, tmp_path):
+        store = api.ResultStore(tmp_path / "s.jsonl")
+        with faultpoints.armed("sweep.journal.start"):
+            with pytest.raises(faultpoints.FaultInjected):
+                api.run_sweep(make_sweep(), store=store, max_failures=10)
