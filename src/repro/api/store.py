@@ -17,7 +17,6 @@ import json
 import os
 import subprocess
 from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -43,17 +42,33 @@ def spec_hash(spec_dict: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-@lru_cache(maxsize=1)
+#: Successful-lookup memo and consecutive-failure budget of
+#: :func:`_git_commit`.  Only *successes* are cached forever: a transient
+#: failure (a 2s subprocess timeout on a briefly-wedged host, a git racing a
+#: checkout) must not stamp every record of a long-running daemon with
+#: ``git_commit: null`` for the rest of the process lifetime.  Failures
+#: retry on the next lookup, but at most ``_GIT_COMMIT_MAX_ATTEMPTS`` times
+#: so a host where git is genuinely absent or hung pays the ``timeout``
+#: stall a bounded number of times, not on every append forever.
+_GIT_COMMIT_CACHE: Optional[str] = None
+_GIT_COMMIT_FAILURES = 0
+_GIT_COMMIT_MAX_ATTEMPTS = 3
+
+
 def _git_commit(timeout: float = 2.0) -> Optional[str]:
     """The current HEAD commit, or ``None`` when git is absent, broken, or
     slow.
 
-    Memoized for the life of the process: provenance is stamped on every
-    appended record, and a host where ``git`` hangs (dead NFS work-tree,
-    broken credential helper) must stall at most one append for at most
-    ``timeout`` seconds, not every append forever.  stdin is detached so a
-    misconfigured git can never sit waiting for terminal input.
+    Successes are memoized for the life of the process; failures retry on
+    the next call until the attempt budget runs out (see above).  stdin is
+    detached so a misconfigured git can never sit waiting for terminal
+    input.
     """
+    global _GIT_COMMIT_CACHE, _GIT_COMMIT_FAILURES
+    if _GIT_COMMIT_CACHE is not None:
+        return _GIT_COMMIT_CACHE
+    if _GIT_COMMIT_FAILURES >= _GIT_COMMIT_MAX_ATTEMPTS:
+        return None
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -62,10 +77,30 @@ def _git_commit(timeout: float = 2.0) -> Optional[str]:
         )
     except (OSError, subprocess.SubprocessError):
         # Covers a missing binary, a TimeoutExpired hang, and any other
-        # subprocess failure — provenance degrades to git_commit: null.
-        return None
-    commit = out.stdout.strip()
-    return commit if out.returncode == 0 and commit else None
+        # subprocess failure — provenance degrades to git_commit: null
+        # for this record, and the next lookup tries again.
+        commit = None
+    else:
+        commit = out.stdout.strip()
+        commit = commit if out.returncode == 0 and commit else None
+    if commit:
+        _GIT_COMMIT_CACHE = commit
+        _GIT_COMMIT_FAILURES = 0
+        return commit
+    _GIT_COMMIT_FAILURES += 1
+    return None
+
+
+def _reset_git_commit_cache() -> None:
+    """Forget the memoized commit and the failure budget (tests)."""
+    global _GIT_COMMIT_CACHE, _GIT_COMMIT_FAILURES
+    _GIT_COMMIT_CACHE = None
+    _GIT_COMMIT_FAILURES = 0
+
+
+#: Keep the lru_cache-era reset contract: callers (and the tests) clear the
+#: memo with ``_git_commit.cache_clear()``.
+_git_commit.cache_clear = _reset_git_commit_cache
 
 
 def provenance() -> Dict[str, Any]:

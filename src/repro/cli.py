@@ -14,6 +14,9 @@ Example invocations::
     repro sweep examples/specs/quantization_sweep.toml --store results/sweep.jsonl
     repro report results/sweep.jsonl --cdf normalized_cost
     repro stream --algorithm stream-fss --batch-size 512 --query-every 4
+    repro serve --port 9009 --k 2 --snapshot results/serve.json
+    repro serve --port 9009 --k 2 --restore results/serve.json   # after a crash
+    repro client --port 9009 --algorithm stream-fss --batches 8 --query-every 4
     repro cache stats                                 # sweep stage cache
     repro cache gc --max-bytes 100000000
     repro sweep sweep.toml --store results/s.jsonl --resume   # after a crash
@@ -737,12 +740,239 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
     return row
 
 
+# ---------------------------------------------------------------------------
+# `repro serve`: the live clustering daemon (real transport, many clients).
+# ---------------------------------------------------------------------------
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro serve`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the live clustering daemon: accept SourceUpdate "
+                    "uplinks from concurrent clients over newline-delimited "
+                    "JSON, fold them into per-tenant streaming servers, and "
+                    "answer weighted k-means queries mid-stream.  Delivery "
+                    "is at-least-once safe: duplicate or stale updates are "
+                    "acked without changing state, gaps are typed rejections "
+                    "the client replays from.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=9009,
+                        help="TCP port (0 picks an ephemeral port; see "
+                             "--port-file)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening "
+                             "(how scripts find an ephemeral port)")
+    parser.add_argument("--k", type=int, default=2, help="clusters per query")
+    parser.add_argument("--n-init", type=int, default=5,
+                        help="per-query k-means restarts")
+    parser.add_argument("--max-iterations", type=int, default=100,
+                        help="per-query Lloyd iteration cap")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed; each tenant's solver stream "
+                             "derives from (seed, tenant)")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="persist daemon state here (atomically, after "
+                             "registrations, every --snapshot-every applied "
+                             "folds, and on graceful shutdown)")
+    parser.add_argument("--snapshot-every", type=int, default=1, metavar="N",
+                        help="applied folds between snapshot writes "
+                             "(default 1: every acked fold is durable)")
+    parser.add_argument("--restore", default=None, metavar="PATH",
+                        help="restore tenant state from a snapshot file "
+                             "before serving")
+    return parser
+
+
+def run_serve(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro serve``: run the daemon until SIGTERM/SIGINT (or a
+    protocol ``shutdown`` request), then persist a final snapshot."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve.daemon import ServeDaemon, load_snapshot
+
+    try:
+        daemon = ServeDaemon(
+            k=args.k, n_init=args.n_init, max_iterations=args.max_iterations,
+            seed=args.seed, host=args.host, port=args.port,
+            snapshot_path=args.snapshot, snapshot_every=args.snapshot_every,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid serve flags: {exc}") from None
+    restored = 0
+    if args.restore:
+        try:
+            state = load_snapshot(args.restore)
+            daemon.restore_state(state)
+        except OSError as exc:
+            raise SystemExit(f"cannot read snapshot {args.restore}: {exc}") from None
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"invalid snapshot {args.restore}: {exc}") from None
+        restored = len(state.get("tenants", {}))
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro serve: listening on {host}:{port} "
+              f"(k={args.k}, {restored} tenant(s) restored)", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{port}\n")
+
+    asyncio.run(daemon.run(ready=ready, install_signal_handlers=True))
+    print(f"repro serve: stopped ({daemon.snapshot_writes} snapshot write(s))")
+    return {"tenants": float(len(daemon.state()['tenants'])),
+            "snapshot_writes": float(daemon.snapshot_writes)}
+
+
+# ---------------------------------------------------------------------------
+# `repro client`: stream one source's batches against a live daemon.
+# ---------------------------------------------------------------------------
+
+def build_client_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro client`` (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Drive one streaming source against a live `repro "
+                    "serve` daemon: compress batches locally with a "
+                    "registered stream-* composition, uplink the bucket "
+                    "deltas until acked, and query mid-stream.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="daemon address")
+    parser.add_argument("--port", type=int, required=True, help="daemon port")
+    parser.add_argument("--tenant", default="default",
+                        help="tenant whose server folds this stream")
+    parser.add_argument("--source-id", default="source-0",
+                        help="this client's registered source identity")
+    parser.add_argument("--dataset", choices=("mnist", "neurips"), default="mnist",
+                        help="synthetic benchmark dataset to stream")
+    parser.add_argument("--n", type=int, default=None, help="dataset cardinality override")
+    parser.add_argument("--d", type=int, default=None, help="dataset dimension override")
+    parser.add_argument("--algorithm",
+                        choices=registry.registered_names(streaming=True),
+                        default="stream-fss",
+                        help="streaming composition applied to every batch")
+    parser.add_argument("--k", type=int, default=2, help="number of clusters")
+    parser.add_argument("--batch-size", type=int, default=512,
+                        help="rows per uplinked batch")
+    parser.add_argument("--batches", type=int, default=None,
+                        help="stop after this many batches (default: stream "
+                             "the whole dataset)")
+    parser.add_argument("--coreset-size", type=int, default=300,
+                        help="per-bucket coreset cardinality")
+    parser.add_argument("--pca-rank", type=int, default=None,
+                        help="FSS intrinsic rank t")
+    parser.add_argument("--jl-dimension", type=int, default=None,
+                        help="JL target dimension d'")
+    parser.add_argument("--quantize-bits", type=int, default=None,
+                        help="significant bits kept by the rounding quantizer")
+    parser.add_argument("--window", type=int, default=None,
+                        help="sliding window in batches")
+    parser.add_argument("--query-every", type=int, default=None,
+                        help="query the daemon every N delivered batches")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (clients sharing a tenant must "
+                             "share it so their DR maps agree)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request socket timeout in seconds")
+    parser.add_argument("--retry-deadline", type=float, default=30.0,
+                        help="keep retrying unacked folds for this many "
+                             "seconds across reconnects")
+    return parser
+
+
+def run_client(args: argparse.Namespace) -> Dict[str, float]:
+    """Execute ``repro client``: register, stream, deliver-until-acked."""
+    from repro.datasets.streams import iter_batches
+    from repro.serve.client import ServeClient, ServeError, ServeSource
+
+    points, spec = load_benchmark_dataset(args.dataset, n=args.n, d=args.d,
+                                          seed=args.seed)
+    quantizer: Optional[RoundingQuantizer] = None
+    if args.quantize_bits is not None and args.quantize_bits < 53:
+        quantizer = RoundingQuantizer(args.quantize_bits)
+    try:
+        engine = registry.create_pipeline(
+            args.algorithm,
+            k=args.k,
+            coreset_size=args.coreset_size,
+            pca_rank=args.pca_rank,
+            jl_dimension=args.jl_dimension,
+            quantizer=quantizer,
+            batch_size=args.batch_size,
+            window=args.window,
+            seed=args.seed,
+        )
+    except TypeError as exc:
+        raise SystemExit(f"invalid flags for {args.algorithm}: {exc}") from None
+    batches = list(iter_batches(points, args.batch_size))
+    if args.batches is not None:
+        batches = batches[: args.batches]
+    if not batches:
+        raise SystemExit("the dataset yielded no batches")
+    source = engine.standalone_source(args.source_id, batches[0].shape)
+
+    print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), "
+          f"algorithm: {args.algorithm}, source: {args.source_id}, "
+          f"tenant: {args.tenant}, batches: {len(batches)}")
+    applied = duplicates = queries = 0
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout,
+                         retry_deadline=args.retry_deadline) as client:
+            serve_source = ServeSource(source, client, tenant=args.tenant)
+            watermark = serve_source.register()
+            print(f"registered {args.source_id} (server watermark: {watermark})")
+            for index, batch in enumerate(batches):
+                ack = serve_source.ingest(batch, index)
+                if ack["result"] == "applied":
+                    applied += 1
+                else:
+                    duplicates += 1
+                if (args.query_every is not None
+                        and (index + 1) % args.query_every == 0):
+                    queries += _print_query_row(serve_source, index)
+            queries += _print_query_row(serve_source, len(batches) - 1,
+                                             final=True)
+    except ServeError as exc:
+        raise SystemExit(f"server rejected the stream: {exc}") from None
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}") from None
+    print(f"delivered {applied + duplicates} update(s) "
+          f"({applied} applied, {duplicates} duplicate ack(s)), "
+          f"{queries} quer{'y' if queries == 1 else 'ies'}")
+    return {"delivered": float(applied + duplicates),
+            "applied": float(applied),
+            "duplicates": float(duplicates),
+            "queries": float(queries)}
+
+
+def _print_query_row(serve_source, step: int, final: bool = False) -> int:
+    """One mid-stream query printed as a trajectory row; returns 1 when the
+    daemon answered, 0 when its summary is still empty (a clean one-liner
+    instead of a stack trace)."""
+    from repro.serve.client import ServeError
+
+    try:
+        answer = serve_source.query()
+    except ServeError as exc:
+        if exc.code == "empty-summary":
+            print(f"step {step}: the server holds no summary yet")
+            return 0
+        raise
+    label = "final query" if final else f"query@{step}"
+    print(f"{label}: cost={answer['cost']:.4f} "
+          f"summary={answer['summary_cardinality']} "
+          f"buckets={answer['live_buckets']} "
+          f"folded={answer['updates_folded']}")
+    return 1
+
+
 #: Subcommand name -> (parser builder, executor).
 _SUBCOMMANDS = {
     "run": (build_run_parser, run_spec),
     "sweep": (build_sweep_parser, run_sweep),
     "report": (build_report_parser, run_report),
     "stream": (build_stream_parser, run_stream),
+    "serve": (build_serve_parser, run_serve),
+    "client": (build_client_parser, run_client),
     "cache": (build_cache_parser, run_cache),
     "store": (build_store_parser, run_store),
 }

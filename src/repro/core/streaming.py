@@ -271,6 +271,10 @@ class StreamingEngine(DistributedStagePipeline):
             )
             for i in range(len(iterators))
         ]
+        # Registration handshake: folds from anything but these sources are
+        # typed rejections, matching the serve daemon's admission contract.
+        for source in sources:
+            server.register(source.source_id)
 
         ledger: Dict[int, List[int]] = {}
         queries: List[QuerySnapshot] = []
@@ -376,6 +380,46 @@ class StreamingEngine(DistributedStagePipeline):
                 queries.append(self._query(server, sources, network, ledger, t))
             t += 1
         return t
+
+    def standalone_source(
+        self,
+        source_id: str,
+        first_batch_shape: Tuple[int, int],
+        network: Optional[SimulatedNetwork] = None,
+    ) -> StreamingSource:
+        """Build one fully handshaken :class:`StreamingSource` outside the
+        in-process batch loop — the client half of ``repro serve``.
+
+        Runs exactly the stream-start protocol of :meth:`run_streams`
+        (dimension pinning against the first batch's shape, the stream-wide
+        seed handshake, the per-source generator derivation), so two
+        processes constructing the same composition from the same seed agree
+        on the DR maps and their summaries stay mergeable at the daemon.
+        """
+        ctx = StageContext(
+            k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
+        )
+        stages = self._wire_stages()
+        stages = _pin_derived_dimensions(stages, first_batch_shape, ctx)
+        reduce_stage = next((s for s in stages if s.reduces_cardinality), None)
+        if reduce_stage is None:
+            raise ValueError(
+                "streaming requires a CR stage (FSS / SS / Uniform) in the "
+                "composition; merge-and-reduce has nothing to reduce with"
+            )
+        for stage in stages:
+            stage.handshake(ctx)
+        source_rng = spawn_generators(self._rng, 1)[0]
+        return StreamingSource(
+            str(source_id),
+            stages,
+            reduce_stage,
+            StageContext(
+                k=self.k, epsilon=self.epsilon, delta=self.delta, rng=source_rng
+            ),
+            network if network is not None else SimulatedNetwork(),
+            window=self.window,
+        )
 
     # ------------------------------------------------------------ internals
     def _wire_stages(self) -> List[Stage]:

@@ -1,0 +1,38 @@
+"""Live serving: the real network boundary of the streaming protocol.
+
+Everything else in the repo simulates delivery in-process; this package
+stands up an actual long-running clustering daemon (``repro serve``) and its
+client SDK.  The daemon accepts batch uplinks from many concurrent clients
+over a newline-delimited-JSON socket protocol (:mod:`repro.serve.protocol`),
+folds them into per-tenant :class:`~repro.streaming.server.StreamingServer`
+state behind per-tenant locks (:mod:`repro.serve.daemon`), and answers
+weighted k-means queries mid-stream.  The client half
+(:mod:`repro.serve.client`) wraps an unchanged
+:class:`~repro.streaming.source.StreamingSource`, so the wire carries the
+same ``SourceUpdate`` bucket deltas the in-process engine folds.
+
+Delivery is at-least-once: clients retry every fold until it is acked, and
+the fold layer's per-source watermarks make retries and reordered stale
+updates no-ops (:attr:`~repro.streaming.server.FoldResult.DUPLICATE`), so a
+crash anywhere in the pipeline never double-counts a batch.
+"""
+
+from repro.serve.client import ServeClient, ServeError, ServeSource
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_update,
+    encode_update,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeSource",
+    "decode_update",
+    "encode_update",
+]

@@ -1,0 +1,225 @@
+"""Client SDK for ``repro serve``: a retrying NDJSON connection and the
+:class:`ServeSource` adapter that puts an unchanged
+:class:`~repro.streaming.source.StreamingSource` behind the real wire.
+
+Delivery model
+--------------
+The transport is at-least-once by construction: :meth:`ServeClient.call`
+resends an idempotent request (register, fold) after any connection failure
+until the retry deadline, reconnecting as needed.  That is safe *because*
+the daemon's fold layer is idempotent — a fold whose ack was lost is re-sent
+and acked as ``duplicate`` without changing server state.  Queries are not
+idempotent (each one advances the tenant's solver seed stream), so they are
+never re-sent after a send attempt; only the connect step retries.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.streaming.source import SourceUpdate, StreamingSource
+
+
+class ServeError(RuntimeError):
+    """A protocol-level rejection from the daemon (stable ``code``)."""
+
+    def __init__(self, code: str, message: str, payload: Dict[str, Any]) -> None:
+        self.code = str(code)
+        self.payload = dict(payload)
+        super().__init__(f"[{self.code}] {message}")
+
+
+class ServeClient:
+    """A blocking NDJSON client with reconnect-and-resend retries.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon address.
+    timeout:
+        Per-socket-operation timeout in seconds.
+    retry_interval, retry_deadline:
+        An idempotent request that hits a connection failure (daemon
+        restarting, ack lost) is retried every ``retry_interval`` seconds
+        until ``retry_deadline`` seconds have passed, then the last error
+        propagates.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retry_interval: float = 0.2,
+        retry_deadline: float = 30.0,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retry_interval = float(retry_interval)
+        self.retry_deadline = float(retry_deadline)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------ transport
+    def connect(self) -> None:
+        """Establish the connection (idempotent)."""
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One send + one response over the live connection."""
+        self.connect()
+        self._file.write(protocol.dump_frame(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("the server closed the connection")
+        return protocol.parse_frame(line)
+
+    def call(self, payload: Dict[str, Any], *, idempotent: bool = True) -> Dict[str, Any]:
+        """Send one request and return the response frame.
+
+        Connection failures retry (reconnect + resend) for idempotent
+        requests; non-idempotent requests only retry the *connect* step —
+        once the frame may have reached the daemon, the error propagates.
+        """
+        deadline = time.monotonic() + self.retry_deadline
+        sent = False
+        while True:
+            try:
+                if not idempotent:
+                    # Retry connecting, but never resend: track whether the
+                    # frame could have left this process.
+                    self.connect()
+                    sent = True
+                return self._request_once(payload)
+            except (OSError, ConnectionError, protocol.ProtocolError) as exc:
+                self.close()
+                if isinstance(exc, protocol.ProtocolError):
+                    raise
+                if not idempotent and sent:
+                    raise
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(self.retry_interval)
+
+    # ------------------------------------------------------------- requests
+    def healthz(self) -> Dict[str, Any]:
+        return self._unwrap(self.call({"op": "healthz"}))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._unwrap(self.call({"op": "metrics"}))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to snapshot and exit (acked before it stops)."""
+        return self._unwrap(self.call({"op": "shutdown"}, idempotent=False))
+
+    @staticmethod
+    def _unwrap(response: Dict[str, Any]) -> Dict[str, Any]:
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", "unknown"),
+                response.get("message", "request rejected"),
+                response,
+            )
+        return response
+
+
+class ServeSource:
+    """The serving counterpart of one :class:`StreamingSource`.
+
+    Wraps the source unchanged: batches are compressed and tracked exactly
+    as in the in-process engine, and the ``SourceUpdate`` bucket delta that
+    the engine would fold locally crosses the wire instead.  Every update is
+    delivered until acked (``applied`` or ``duplicate``), so daemon crashes
+    and lost acks never lose or double-count a batch.
+    """
+
+    def __init__(
+        self,
+        source: StreamingSource,
+        client: ServeClient,
+        tenant: str = "default",
+    ) -> None:
+        self.source = source
+        self.client = client
+        self.tenant = str(tenant)
+
+    # ------------------------------------------------------------------ API
+    def register(self) -> int:
+        """Registration handshake; returns the daemon's high-water mark for
+        this source (-1 = nothing applied, resume from the start)."""
+        response = self.client.call({
+            "op": "register",
+            "tenant": self.tenant,
+            "source_id": self.source.source_id,
+        })
+        return int(ServeClient._unwrap(response)["watermark"])
+
+    def ingest(self, batch: np.ndarray, batch_index: int) -> Dict[str, Any]:
+        """Compress one batch locally, then deliver its delta until acked."""
+        update = self.source.ingest(batch, batch_index)
+        return self.deliver(update)
+
+    def advance(self, batch_index: int) -> Dict[str, Any]:
+        """Advance stream time without data (sliding-window retirement)."""
+        return self.deliver(self.source.advance(batch_index))
+
+    def deliver(self, update: SourceUpdate) -> Dict[str, Any]:
+        """Ship one update, retrying across reconnects until acked."""
+        response = self.client.call({
+            "op": "fold",
+            "tenant": self.tenant,
+            "update": protocol.encode_update(update),
+        })
+        return ServeClient._unwrap(response)
+
+    def query(self) -> Dict[str, Any]:
+        """One mid-stream k-means query, centers lifted back through this
+        source's DR maps (the daemon answers in the reduced space)."""
+        response = ServeClient._unwrap(
+            self.client.call(
+                {"op": "query", "tenant": self.tenant}, idempotent=False
+            )
+        )
+        centers = np.asarray(response["centers"], dtype=float)
+        for lift in reversed(self.source.lifts or []):
+            centers = lift(centers)
+        response["lifted_centers"] = centers
+        return response
+
+
+__all__ = ["ServeClient", "ServeError", "ServeSource"]

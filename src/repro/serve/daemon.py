@@ -1,0 +1,427 @@
+"""The live clustering daemon behind ``repro serve``.
+
+An asyncio TCP server speaking the NDJSON protocol of
+:mod:`repro.serve.protocol`.  Each *tenant* owns one
+:class:`~repro.streaming.server.StreamingServer` guarded by an
+:class:`asyncio.Lock`, so folds from many concurrent client connections
+serialize per tenant while tenants proceed independently.  The daemon's
+delivery contract is exactly the fold layer's: at-least-once uplinks are
+safe because duplicate/stale updates ack as ``duplicate`` without touching
+state, gaps are typed rejections the client replays from, and unregistered
+sources are refused.
+
+Durability: when a snapshot path is configured, the daemon persists its
+complete state (every tenant's buckets, watermarks, and rng position)
+atomically after registrations and after every ``snapshot_every``-th applied
+fold, and always on graceful shutdown.  A daemon restarted with
+``--restore`` therefore answers its next query bit-identically to one that
+never died: acked folds are in the snapshot, unacked folds are replayed by
+the clients and either apply once or ack as duplicates.
+
+Scale note: this is a single-event-loop daemon whose snapshot write happens
+inline in the fold path — the right shape for integration-testing the
+protocol and for modest deployments; sharding tenants across processes is
+the ROADMAP's next step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.serve import protocol
+from repro.streaming.server import (
+    EmptySummaryError,
+    FoldRejectedError,
+    FoldResult,
+    StreamingServer,
+)
+from repro.utils import faultpoints
+from repro.utils.clock import perf_counter
+from repro.utils.random import SeedLike, generator_for_name
+from repro.utils.validation import check_positive_int
+
+#: Snapshot file layout version, bumped on incompatible changes.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class _Tenant:
+    """One tenant's server, its fold serialization lock, and counters."""
+
+    server: StreamingServer
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    folds: int = 0
+    duplicates: int = 0
+    rejections: int = 0
+    queries: int = 0
+    fold_seconds: float = 0.0
+    query_seconds: float = 0.0
+    last_fold_seconds: float = 0.0
+    last_query_seconds: float = 0.0
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "registered_sources": list(self.server.registered_sources),
+            "watermarks": {
+                source: self.server.watermark(source)
+                for source in self.server.registered_sources
+            },
+            "live_buckets": self.server.live_bucket_count,
+            "updates_folded": self.server.updates_folded,
+            "folds": self.folds,
+            "duplicates": self.duplicates,
+            "rejections": self.rejections,
+            "queries": self.queries,
+            "fold_seconds": self.fold_seconds,
+            "query_seconds": self.query_seconds,
+            "last_fold_seconds": self.last_fold_seconds,
+            "last_query_seconds": self.last_query_seconds,
+        }
+
+
+class ServeDaemon:
+    """The ``repro serve`` process, minus the process.
+
+    Parameters
+    ----------
+    k, n_init, max_iterations, seed:
+        Per-tenant :class:`StreamingServer` configuration.  Each tenant's
+        solver generator derives from ``(seed, tenant name)`` via
+        :func:`~repro.utils.random.generator_for_name`, so tenant state is
+        independent of tenant creation order.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read it from
+        :attr:`bound_port` after :meth:`run` signals readiness).
+    snapshot_path:
+        Where to persist daemon state; ``None`` disables durability.
+    snapshot_every:
+        Persist after every Nth applied fold (1 = every applied fold is
+        durable before it is acked — the strongest guarantee and the
+        default).  Registrations and graceful shutdown always persist.
+    """
+
+    def __init__(
+        self,
+        *,
+        k: int,
+        n_init: int = 5,
+        max_iterations: int = 100,
+        seed: SeedLike = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_path: Optional[str] = None,
+        snapshot_every: int = 1,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self.seed = seed
+        self.host = str(host)
+        self.port = int(port)
+        self.snapshot_path = None if snapshot_path is None else Path(snapshot_path)
+        self.snapshot_every = check_positive_int(snapshot_every, "snapshot_every")
+        self.bound_port: Optional[int] = None
+        self.snapshot_writes = 0
+        self.connections = 0
+        self._tenants: Dict[str, _Tenant] = {}
+        self._applied_since_snapshot = 0
+        self._started = perf_counter()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # --------------------------------------------------------------- state
+    def tenant(self, name: str) -> _Tenant:
+        """The named tenant, created on first touch."""
+        name = str(name)
+        state = self._tenants.get(name)
+        if state is None:
+            state = _Tenant(
+                server=StreamingServer(
+                    k=self.k,
+                    n_init=self.n_init,
+                    max_iterations=self.max_iterations,
+                    seed=generator_for_name(self.seed, f"tenant::{name}"),
+                )
+            )
+            self._tenants[name] = state
+        return state
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every tenant's complete server state."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "tenants": {
+                name: self._tenants[name].server.snapshot()
+                for name in sorted(self._tenants)
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> "ServeDaemon":
+        """Rebuild every tenant from a :meth:`state` snapshot; returns self."""
+        version = int(state.get("version", 0))
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {version} is not supported "
+                f"(this daemon writes version {SNAPSHOT_VERSION})"
+            )
+        for name, snapshot in state.get("tenants", {}).items():
+            self._tenants[str(name)] = _Tenant(
+                server=StreamingServer.restore(snapshot)
+            )
+        return self
+
+    def write_snapshot(self) -> Optional[Path]:
+        """Atomically persist :meth:`state`; no-op without a snapshot path.
+
+        Write-to-temp, flush+fsync, rename: a crash mid-write leaves the
+        previous snapshot intact (plus at worst a stale temp file).
+        """
+        if self.snapshot_path is None:
+            return None
+        path = self.snapshot_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(self.state(), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faultpoints.reach("serve.snapshot")
+        os.replace(tmp, path)
+        self.snapshot_writes += 1
+        self._applied_since_snapshot = 0
+        return path
+
+    # ------------------------------------------------------------ requests
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.dump_frame(protocol.error_response(
+                        protocol.ERROR_BAD_REQUEST,
+                        f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.parse_frame(line)
+                except protocol.ProtocolError as exc:
+                    response, stop = protocol.encode_exception(exc), False
+                else:
+                    response, stop = await self._dispatch(request)
+                writer.write(protocol.dump_frame(response))
+                await writer.drain()
+                if stop:
+                    self.request_stop()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-frame; per-fold acks make this safe
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Route one request; returns ``(response, stop_after_reply)``."""
+        op = request.get("op")
+        try:
+            if op == "register":
+                return await self._op_register(request), False
+            if op == "fold":
+                return await self._op_fold(request), False
+            if op == "query":
+                return await self._op_query(request), False
+            if op == "healthz":
+                return self._op_healthz(), False
+            if op == "metrics":
+                return self._op_metrics(), False
+            if op == "snapshot":
+                return self._op_snapshot(), False
+            if op == "shutdown":
+                return protocol.ok_response(stopping=True), True
+            raise protocol.ProtocolError(
+                f"unknown op {op!r}; expected register/fold/query/healthz/"
+                "metrics/snapshot/shutdown"
+            )
+        except (protocol.ProtocolError, FoldRejectedError, EmptySummaryError) as exc:
+            return protocol.encode_exception(exc), False
+
+    @staticmethod
+    def _tenant_name(request: Dict[str, Any]) -> str:
+        name = request.get("tenant", "default")
+        if not isinstance(name, str) or not name:
+            raise protocol.ProtocolError("tenant must be a non-empty string")
+        return name
+
+    async def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        source_id = request.get("source_id")
+        if not isinstance(source_id, str) or not source_id:
+            raise protocol.ProtocolError("register needs a source_id string")
+        name = self._tenant_name(request)
+        tenant = self.tenant(name)
+        async with tenant.lock:
+            watermark = tenant.server.register(source_id)
+            # Registration is durable state: a restored daemon must keep
+            # refusing unregistered sources and admitting registered ones.
+            self.write_snapshot()
+        return protocol.ok_response(
+            tenant=name, source_id=source_id, watermark=watermark
+        )
+
+    async def _op_fold(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        update = protocol.decode_update(request.get("update"))
+        name = self._tenant_name(request)
+        tenant = self.tenant(name)
+        async with tenant.lock:
+            start = perf_counter()
+            try:
+                result = tenant.server.fold(update)
+            except FoldRejectedError:
+                tenant.rejections += 1
+                raise
+            if result is FoldResult.APPLIED:
+                tenant.folds += 1
+                self._applied_since_snapshot += 1
+                if self._applied_since_snapshot >= self.snapshot_every:
+                    self.write_snapshot()
+                # The at-least-once trap: die here and the client retries an
+                # update the snapshot already holds — the restored daemon
+                # must ack it as a duplicate, not fold it twice.
+                faultpoints.reach("serve.fold.ack")
+            else:
+                tenant.duplicates += 1
+            tenant.last_fold_seconds = perf_counter() - start
+            tenant.fold_seconds += tenant.last_fold_seconds
+            watermark = tenant.server.watermark(update.source_id)
+        return protocol.ok_response(result=result.value, watermark=watermark)
+
+    async def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = self._tenant_name(request)
+        tenant = self.tenant(name)
+        async with tenant.lock:
+            start = perf_counter()
+            result, coreset, seconds = tenant.server.query()
+            tenant.queries += 1
+            tenant.last_query_seconds = perf_counter() - start
+            tenant.query_seconds += tenant.last_query_seconds
+            response = protocol.ok_response(
+                tenant=name,
+                centers=result.centers.tolist(),
+                cost=float(result.cost),
+                iterations=int(result.iterations),
+                converged=bool(result.converged),
+                summary_cardinality=coreset.size,
+                summary_dimension=coreset.dimension,
+                live_buckets=tenant.server.live_bucket_count,
+                updates_folded=tenant.server.updates_folded,
+                server_seconds=seconds,
+            )
+            # Queries advance the per-tenant solver rng: persist so a
+            # restored daemon continues the same seed stream.
+            self.write_snapshot()
+        return response
+
+    def _op_healthz(self) -> Dict[str, Any]:
+        return protocol.ok_response(
+            status="ok",
+            protocol_version=protocol.PROTOCOL_VERSION,
+            uptime_seconds=perf_counter() - self._started,
+            tenants=len(self._tenants),
+            pid=os.getpid(),
+        )
+
+    def _op_metrics(self) -> Dict[str, Any]:
+        tenants = {
+            name: self._tenants[name].metrics() for name in sorted(self._tenants)
+        }
+        return protocol.ok_response(
+            uptime_seconds=perf_counter() - self._started,
+            connections=self.connections,
+            snapshot_writes=self.snapshot_writes,
+            totals={
+                "folds": sum(t["folds"] for t in tenants.values()),
+                "duplicates": sum(t["duplicates"] for t in tenants.values()),
+                "rejections": sum(t["rejections"] for t in tenants.values()),
+                "queries": sum(t["queries"] for t in tenants.values()),
+                "live_buckets": sum(t["live_buckets"] for t in tenants.values()),
+            },
+            tenants=tenants,
+        )
+
+    def _op_snapshot(self) -> Dict[str, Any]:
+        path = self.write_snapshot()
+        if path is None:
+            raise protocol.ProtocolError(
+                "no snapshot path configured (start the daemon with --snapshot)"
+            )
+        return protocol.ok_response(path=str(path), tenants=len(self._tenants))
+
+    # ------------------------------------------------------------ lifecycle
+    async def run(
+        self,
+        *,
+        ready: Optional[Callable[[str, int], None]] = None,
+        install_signal_handlers: bool = False,
+    ) -> None:
+        """Serve until :meth:`request_stop` (or SIGTERM/SIGINT when signal
+        handlers are installed), then persist a final snapshot."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        installed = []
+        if install_signal_handlers:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(sig, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    continue  # platforms without loop signal support
+                installed.append(sig)
+        server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.bound_port = int(server.sockets[0].getsockname()[1])
+        try:
+            if ready is not None:
+                ready(self.host, self.bound_port)
+            async with server:
+                await self._stop.wait()
+        finally:
+            for sig in installed:
+                self._loop.remove_signal_handler(sig)
+            # Graceful shutdown always leaves a restorable snapshot behind.
+            self.write_snapshot()
+
+    def request_stop(self) -> None:
+        """Stop :meth:`run` from any thread (idempotent, safe after exit)."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # the loop already shut down: nothing left to stop
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read a daemon snapshot file written by :meth:`ServeDaemon.write_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+__all__ = ["SNAPSHOT_VERSION", "ServeDaemon", "load_snapshot"]

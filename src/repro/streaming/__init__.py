@@ -14,7 +14,14 @@ that schedules batches and produces reports is
 
 from repro.streaming.tree import Bucket, CoresetTree, TreeDelta
 from repro.streaming.source import BucketUpdate, SourceUpdate, StreamingSource
-from repro.streaming.server import StreamingServer
+from repro.streaming.server import (
+    EmptySummaryError,
+    FoldRejectedError,
+    FoldResult,
+    StreamingServer,
+    UnknownSourceError,
+    UpdateGapError,
+)
 
 __all__ = [
     "Bucket",
@@ -24,4 +31,9 @@ __all__ = [
     "SourceUpdate",
     "StreamingSource",
     "StreamingServer",
+    "EmptySummaryError",
+    "FoldRejectedError",
+    "FoldResult",
+    "UnknownSourceError",
+    "UpdateGapError",
 ]

@@ -7,11 +7,31 @@ did not change.  A *query* merges all live buckets across sources into one
 generalized coreset (exact, by coreset mergeability) and solves weighted
 k-means on it, exactly like the one-shot engine's server section; the caller
 lifts the centers back through the stream's DR maps.
+
+Delivery safety
+---------------
+Real transports deliver at-least-once and sometimes out of order: a client
+whose ack was lost retries an update the server already applied, and a
+delayed retry can arrive *after* a newer update retired the buckets it
+carries.  Folding either one blindly corrupts the global coreset (a retired
+bucket comes back from the dead) and double-counts the accounting.  The fold
+layer therefore keeps a per-source ``batch_index`` high-water mark:
+
+* an update at or below the watermark is a no-op acknowledged as
+  :attr:`FoldResult.DUPLICATE` — replaying any delivered prefix leaves the
+  server byte-identical;
+* an update that skips past ``watermark + 1`` raises :class:`UpdateGapError`
+  so the transport can replay the missing range instead of silently folding
+  a summary whose retirements reference updates the server never saw;
+* an update from a source that never registered raises
+  :class:`UnknownSourceError` (sources are admitted by the engine or the
+  daemon's registration handshake, and survive snapshot/restore).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import enum
+from typing import Dict, Iterable, Tuple
 
 from repro.cr.coreset import Coreset, merge_coresets
 from repro.kmeans.lloyd import KMeansResult, WeightedKMeans
@@ -26,6 +46,62 @@ from repro.utils.random import (
     restore_generator,
 )
 from repro.utils.validation import check_positive_int
+
+
+class EmptySummaryError(RuntimeError):
+    """Raised by :meth:`StreamingServer.global_coreset` / ``query`` when the
+    server holds no live buckets.
+
+    A ``RuntimeError`` subclass so legacy callers keep working, but typed so
+    the serving daemon can map it to a clean protocol error (and the CLI to
+    a one-line message) instead of a traceback.
+    """
+
+
+class FoldRejectedError(ValueError):
+    """Base of the typed fold rejections (the daemon maps these to protocol
+    errors; the in-process engine treats them as programming errors)."""
+
+
+class UnknownSourceError(FoldRejectedError):
+    """An update arrived from a source the server never registered."""
+
+    def __init__(self, source_id: str, registered: Iterable[str]) -> None:
+        self.source_id = str(source_id)
+        self.registered = tuple(sorted(str(s) for s in registered))
+        super().__init__(
+            f"unknown source {self.source_id!r}: the server has registered "
+            f"{', '.join(self.registered) if self.registered else 'no sources'}"
+            " — complete the registration handshake before folding"
+        )
+
+
+class UpdateGapError(FoldRejectedError):
+    """An update skipped past the source's high-water mark.
+
+    Folding it would apply retirements/additions that assume updates the
+    server never saw; the transport must replay from :attr:`expected`.
+    """
+
+    def __init__(self, source_id: str, expected: int, got: int) -> None:
+        self.source_id = str(source_id)
+        self.expected = int(expected)
+        self.got = int(got)
+        super().__init__(
+            f"update gap for source {self.source_id!r}: expected batch_index "
+            f"{self.expected}, got {self.got} — replay the missing updates"
+        )
+
+
+class FoldResult(enum.Enum):
+    """What :meth:`StreamingServer.fold` did with an update."""
+
+    #: The update advanced the source's watermark and changed server state.
+    APPLIED = "applied"
+    #: The update was at or below the watermark: a retransmission of state
+    #: the server already holds.  Nothing changed; the delivery layer should
+    #: ack it so the client stops retrying.
+    DUPLICATE = "duplicate"
 
 
 class StreamingServer:
@@ -54,18 +130,59 @@ class StreamingServer:
         self.max_iterations = check_positive_int(max_iterations, "max_iterations")
         self._rng = as_generator(seed)
         self._buckets: Dict[Tuple[str, int], Coreset] = {}
+        #: source_id -> highest applied batch_index (-1 = registered, no
+        #: update applied yet).  Presence in the map *is* registration.
+        self._watermarks: Dict[str, int] = {}
         self.compute_seconds = 0.0
         self.updates_folded = 0
 
     # ------------------------------------------------------------------ API
-    def fold(self, update: SourceUpdate) -> None:
-        """Apply one incremental summary: retire then add."""
+    def register(self, source_id: str) -> int:
+        """Admit ``source_id`` to the fold (idempotent).
+
+        Returns the source's current high-water mark (-1 when no update has
+        been applied yet), which is what a reconnecting client needs to know
+        where to resume its replay.
+        """
+        return self._watermarks.setdefault(str(source_id), -1)
+
+    @property
+    def registered_sources(self) -> Tuple[str, ...]:
+        """Every source admitted to the fold, sorted."""
+        return tuple(sorted(self._watermarks))
+
+    def watermark(self, source_id: str) -> int:
+        """Highest applied ``batch_index`` of a registered source."""
+        try:
+            return self._watermarks[str(source_id)]
+        except KeyError:
+            raise UnknownSourceError(source_id, self._watermarks) from None
+
+    def fold(self, update: SourceUpdate) -> FoldResult:
+        """Apply one incremental summary: retire then add.
+
+        Idempotent and ordered per source (see the module docstring): a
+        duplicate or stale update returns :attr:`FoldResult.DUPLICATE`
+        without touching any state, a gapped update raises
+        :class:`UpdateGapError`, an unregistered source raises
+        :class:`UnknownSourceError`.
+        """
         faultpoints.reach("streaming.fold")
+        watermark = self._watermarks.get(update.source_id)
+        if watermark is None:
+            raise UnknownSourceError(update.source_id, self._watermarks)
+        index = int(update.batch_index)
+        if index <= watermark:
+            return FoldResult.DUPLICATE
+        if index > watermark + 1:
+            raise UpdateGapError(update.source_id, watermark + 1, index)
         for bucket_id in update.retired_ids:
             self._buckets.pop((update.source_id, bucket_id), None)
         for bucket in update.added:
             self._buckets[(update.source_id, bucket.bucket_id)] = bucket.coreset
+        self._watermarks[update.source_id] = index
         self.updates_folded += 1
+        return FoldResult.APPLIED
 
     @property
     def live_bucket_count(self) -> int:
@@ -78,7 +195,7 @@ class StreamingServer:
     def global_coreset(self) -> Coreset:
         """Union of every live bucket of every source."""
         if not self._buckets:
-            raise RuntimeError(
+            raise EmptySummaryError(
                 "the server holds no summary (no batches ingested, or every "
                 "bucket expired from the sliding window)"
             )
@@ -120,6 +237,14 @@ class StreamingServer:
             "rng": generator_state(self._rng),
             "compute_seconds": self.compute_seconds,
             "updates_folded": self.updates_folded,
+            # The delivery watermarks ride in the snapshot so a restored
+            # server keeps the same at-least-once guarantees: a client
+            # replaying its unacked tail gets DUPLICATE acks, never a
+            # double-fold.
+            "watermarks": [
+                {"source_id": source_id, "batch_index": self._watermarks[source_id]}
+                for source_id in sorted(self._watermarks)
+            ],
             "buckets": [
                 {
                     "source_id": source_id,
@@ -145,6 +270,14 @@ class StreamingServer:
                 Coreset.from_state(b["coreset"])
             for b in snapshot.get("buckets", ())
         }
+        server._watermarks = {
+            str(w["source_id"]): int(w["batch_index"])
+            for w in snapshot.get("watermarks", ())
+        }
+        # Pre-watermark snapshots: admit every source that owns a bucket so
+        # folding can continue, with an unknown (-1) watermark.
+        for source_id, _ in server._buckets:
+            server._watermarks.setdefault(source_id, -1)
         server.compute_seconds = float(snapshot.get("compute_seconds", 0.0))
         server.updates_folded = int(snapshot.get("updates_folded", 0))
         return server

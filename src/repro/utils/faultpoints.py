@@ -74,6 +74,16 @@ FAULTPOINTS: Dict[str, str] = {
     "streaming.fold": (
         "StreamingServer.fold, before the update is applied"
     ),
+    "serve.fold.ack": (
+        "ServeDaemon fold handler, after the update is applied and the "
+        "snapshot persisted but before the ack line is written — the "
+        "at-least-once retry trap (the client must resend, the server must "
+        "answer DUPLICATE)"
+    ),
+    "serve.snapshot": (
+        "ServeDaemon.write_snapshot, after the temp file is written but "
+        "before the atomic rename — leaves a stale .tmp snapshot behind"
+    ),
 }
 
 #: The subset of faultpoints a `repro sweep` run can reach (the CI

@@ -1,0 +1,105 @@
+"""The ``repro serve`` wire format: frames, update coding, error mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import SimulatedNetwork
+from repro.serve import protocol
+from repro.stages.base import StageContext
+from repro.stages.cr import UniformStage
+from repro.streaming.server import (
+    EmptySummaryError,
+    UnknownSourceError,
+    UpdateGapError,
+)
+from repro.streaming.source import StreamingSource
+from repro.utils.random import as_generator
+
+
+def make_update(batches: int = 3):
+    source = StreamingSource(
+        "source-0", [UniformStage(12)], UniformStage(12),
+        StageContext(k=2, epsilon=0.1, delta=0.1, rng=as_generator(9)),
+        SimulatedNetwork(),
+    )
+    data = as_generator(50)
+    update = None
+    for index in range(batches):
+        update = source.ingest(data.random((40, 5)), index)
+    return update
+
+
+class TestFrames:
+    def test_frame_roundtrip(self):
+        payload = {"op": "fold", "tenant": "t", "nested": {"a": [1, 2.5]}}
+        assert protocol.parse_frame(protocol.dump_frame(payload)) == payload
+
+    def test_frame_is_one_line(self):
+        frame = protocol.dump_frame({"op": "query", "text": "a\nb"})
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+
+    @pytest.mark.parametrize("line", [b"not json\n", b"[1,2]\n", b'"str"\n', b"\xff\xfe\n"])
+    def test_malformed_frames_rejected(self, line):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_frame(line)
+
+
+class TestUpdateCoding:
+    def test_update_roundtrip_is_bit_identical(self):
+        update = make_update()
+        back = protocol.decode_update(
+            protocol.parse_frame(protocol.dump_frame(protocol.encode_update(update)))
+        )
+        assert back.source_id == update.source_id
+        assert back.batch_index == update.batch_index
+        assert back.retired_ids == list(update.retired_ids)
+        assert [b.bucket_id for b in back.added] == [b.bucket_id for b in update.added]
+        for mine, theirs in zip(update.added, back.added):
+            assert (theirs.level, theirs.first_batch, theirs.last_batch) == \
+                (mine.level, mine.first_batch, mine.last_batch)
+            np.testing.assert_array_equal(theirs.coreset.points, mine.coreset.points)
+            np.testing.assert_array_equal(theirs.coreset.weights, mine.coreset.weights)
+            assert theirs.coreset.shift == mine.coreset.shift
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {},
+        {"source_id": "s"},  # no batch_index
+        {"source_id": "s", "batch_index": 0, "added": [{"bucket_id": 1}]},
+    ])
+    def test_malformed_updates_rejected(self, payload):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_update(payload)
+
+
+class TestErrorMapping:
+    def test_unknown_source(self):
+        frame = protocol.encode_exception(UnknownSourceError("s-9", {"s-0": 1}))
+        assert frame["ok"] is False
+        assert frame["error"] == protocol.ERROR_UNKNOWN_SOURCE
+        assert frame["source_id"] == "s-9"
+        assert frame["registered"] == ["s-0"]
+
+    def test_update_gap_carries_replay_point(self):
+        frame = protocol.encode_exception(UpdateGapError("s-0", 2, 5))
+        assert frame["error"] == protocol.ERROR_UPDATE_GAP
+        assert (frame["expected"], frame["got"]) == (2, 5)
+
+    def test_empty_summary(self):
+        frame = protocol.encode_exception(EmptySummaryError("no summary"))
+        assert frame["error"] == protocol.ERROR_EMPTY_SUMMARY
+
+    def test_protocol_error_is_bad_request(self):
+        frame = protocol.encode_exception(protocol.ProtocolError("nope"))
+        assert frame["error"] == protocol.ERROR_BAD_REQUEST
+
+    def test_unmapped_exception_refused(self):
+        with pytest.raises(TypeError):
+            protocol.encode_exception(KeyError("x"))
+
+    def test_every_code_is_registered(self):
+        assert set(protocol.ERROR_CODES) == {
+            "bad-request", "unknown-source", "update-gap", "empty-summary",
+        }

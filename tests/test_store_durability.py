@@ -193,6 +193,42 @@ class TestProvenance:
         assert store_module._git_commit() is None
         store_module._git_commit.cache_clear()
 
+    def test_transient_failure_is_not_cached(self, monkeypatch):
+        # The regression: a flaky first lookup used to pin provenance to
+        # None for the process lifetime.  Now only successes are permanent.
+        from repro.api import store as store_module
+
+        store_module._git_commit.cache_clear()
+        good_path = os.environ.get("PATH", "/usr/bin:/bin")
+        monkeypatch.setenv("PATH", "/nonexistent")
+        assert store_module._git_commit() is None
+        monkeypatch.setenv("PATH", good_path)
+        commit = store_module._git_commit()
+        if commit is not None:  # environments without git stay None
+            assert isinstance(commit, str) and len(commit) >= 7
+            # ... and the recovered value is now memoized.
+            monkeypatch.setenv("PATH", "/nonexistent")
+            assert store_module._git_commit() == commit
+        store_module._git_commit.cache_clear()
+
+    def test_failure_retries_are_bounded(self, monkeypatch):
+        from repro.api import store as store_module
+
+        store_module._git_commit.cache_clear()
+        calls = []
+
+        def exploding_run(*args, **kwargs):
+            calls.append(args)
+            raise OSError("git unavailable")
+
+        monkeypatch.setattr(store_module.subprocess, "run", exploding_run)
+        budget = store_module._GIT_COMMIT_MAX_ATTEMPTS
+        for _ in range(budget + 4):
+            assert store_module._git_commit() is None
+        # After the attempt budget the subprocess is never invoked again.
+        assert len(calls) == budget
+        store_module._git_commit.cache_clear()
+
 
 class TestStoreCLI:
     def test_verify_ok_store(self, store, capsys):

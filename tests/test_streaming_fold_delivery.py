@@ -1,0 +1,178 @@
+"""Delivery-safety matrix for the streaming fold layer.
+
+The engine simulates exactly-once delivery, but the real wire
+(:mod:`repro.serve`) is at-least-once: acks get lost, clients resend, and
+retries can arrive after newer updates.  These tests pin the fold layer's
+contract — duplicates and stale reorders are no-ops, gaps are typed
+rejections, and watermarks survive snapshot/restore — so no delivery
+schedule can change a query answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import SimulatedNetwork
+from repro.serve import protocol
+from repro.stages.base import StageContext
+from repro.stages.cr import UniformStage
+from repro.streaming.server import (
+    EmptySummaryError,
+    FoldRejectedError,
+    FoldResult,
+    StreamingServer,
+    UnknownSourceError,
+    UpdateGapError,
+)
+from repro.streaming.source import StreamingSource
+from repro.utils.random import as_generator
+
+
+def canonical(snapshot: dict) -> str:
+    """A snapshot as its byte-comparable on-disk form."""
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def make_source(source_id: str = "source-0", seed: int = 9) -> StreamingSource:
+    return StreamingSource(
+        source_id, [UniformStage(12)], UniformStage(12),
+        StageContext(k=2, epsilon=0.1, delta=0.1, rng=as_generator(seed)),
+        SimulatedNetwork(),
+    )
+
+
+def make_updates(count: int = 5, source_id: str = "source-0", window=None):
+    data = as_generator(50)
+    source = make_source(source_id)
+    if window is not None:
+        source.window = window
+    updates = []
+    for index in range(count):
+        updates.append(source.ingest(data.random((40, 5)), index))
+    return updates
+
+
+def make_server(seed: int = 17) -> StreamingServer:
+    server = StreamingServer(k=2, n_init=3, seed=seed)
+    server.register("source-0")
+    return server
+
+
+class TestIdempotence:
+    def test_duplicate_fold_is_a_noop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FROZEN_CLOCK", "1")
+        updates = make_updates(4)
+        once, twice = make_server(), make_server()
+        for update in updates:
+            assert once.fold(update) is FoldResult.APPLIED
+        for update in updates:
+            assert twice.fold(update) is FoldResult.APPLIED
+            # At-least-once delivery: every update immediately resent.
+            assert twice.fold(update) is FoldResult.DUPLICATE
+        # Byte-identical state, not merely equivalent.
+        assert canonical(twice.snapshot()) == canonical(once.snapshot())
+        assert twice.updates_folded == once.updates_folded == 4
+        mine, _, _ = once.query()
+        theirs, _, _ = twice.query()
+        np.testing.assert_array_equal(theirs.centers, mine.centers)
+        assert theirs.cost == mine.cost
+
+    def test_stale_reorder_cannot_resurrect_retired_buckets(self):
+        # A sliding window retires buckets; a delayed retransmission of the
+        # update that *added* them must not bring them back.
+        updates = make_updates(6, window=2)
+        server = make_server()
+        for update in updates:
+            server.fold(update)
+        live_before = server.live_bucket_count
+        snap_before = canonical(server.snapshot())
+        for stale in updates[:4]:  # every already-superseded update replayed
+            assert server.fold(stale) is FoldResult.DUPLICATE
+        assert server.live_bucket_count == live_before
+        assert canonical(server.snapshot()) == snap_before
+
+    def test_updates_folded_counts_only_applied(self):
+        updates = make_updates(3)
+        server = make_server()
+        for update in updates:
+            server.fold(update)
+            server.fold(update)
+        assert server.updates_folded == 3
+
+
+class TestRejections:
+    def test_gap_is_rejected_and_state_untouched(self):
+        updates = make_updates(5)
+        server = make_server()
+        server.fold(updates[0])
+        snap = canonical(server.snapshot())
+        with pytest.raises(UpdateGapError) as excinfo:
+            server.fold(updates[3])
+        assert excinfo.value.expected == 1
+        assert excinfo.value.got == 3
+        assert excinfo.value.source_id == "source-0"
+        assert isinstance(excinfo.value, FoldRejectedError)
+        assert canonical(server.snapshot()) == snap
+        # The client replays from `expected` and the stream heals.
+        for update in updates[1:]:
+            assert server.fold(update) is FoldResult.APPLIED
+
+    def test_unregistered_source_is_rejected(self):
+        (update,) = make_updates(1, source_id="source-7")
+        server = make_server()
+        with pytest.raises(UnknownSourceError) as excinfo:
+            server.fold(update)
+        assert excinfo.value.source_id == "source-7"
+        assert excinfo.value.registered == ("source-0",)
+        assert server.updates_folded == 0
+
+    def test_register_is_idempotent_and_preserves_watermark(self):
+        updates = make_updates(2)
+        server = make_server()
+        assert server.register("source-0") == -1
+        for update in updates:
+            server.fold(update)
+        # A reconnecting client re-registers; the watermark survives.
+        assert server.register("source-0") == 1
+        assert server.watermark("source-0") == 1
+        with pytest.raises(UnknownSourceError):
+            server.watermark("source-9")
+
+    def test_empty_query_raises_typed_error(self):
+        server = make_server()
+        with pytest.raises(EmptySummaryError, match="no summary"):
+            server.global_coreset()
+        # Legacy callers caught RuntimeError; that contract holds.
+        assert issubclass(EmptySummaryError, RuntimeError)
+
+
+class TestWatermarkPersistence:
+    def test_watermarks_survive_snapshot_restore(self):
+        updates = make_updates(4)
+        server = make_server()
+        for update in updates[:3]:
+            server.fold(update)
+        twin = StreamingServer.restore(json.loads(canonical(server.snapshot())))
+        assert twin.registered_sources == ("source-0",)
+        assert twin.watermark("source-0") == 2
+        # Replayed history is recognized after restart...
+        for update in updates[:3]:
+            assert twin.fold(update) is FoldResult.DUPLICATE
+        # ...and the stream continues.
+        assert twin.fold(updates[3]) is FoldResult.APPLIED
+
+    def test_wire_roundtrip_then_fold_is_bit_identical(self):
+        # Fold deltas that crossed the NDJSON wire; state must match the
+        # in-process fold byte for byte.
+        updates = make_updates(3)
+        local, remote = make_server(), make_server()
+        for update in updates:
+            local.fold(update)
+            frame = protocol.parse_frame(
+                protocol.dump_frame(protocol.encode_update(update))
+            )
+            remote.fold(protocol.decode_update(frame))
+        assert canonical(remote.snapshot()) == canonical(local.snapshot())

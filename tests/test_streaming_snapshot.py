@@ -176,6 +176,7 @@ class TestServerSnapshot:
                 StageContext(k=2, epsilon=0.1, delta=0.1, rng=as_generator(9)),
                 SimulatedNetwork(),
             )
+            server.register(source.source_id)
             for index, batch in enumerate(batches):
                 server.fold(source.ingest(batch, index))
         return server
@@ -205,8 +206,10 @@ class TestServerSnapshot:
             SimulatedNetwork(),
         )
         update = source.ingest(data.random((40, 5)), 0)
+        server.register(source.source_id)
         server.fold(update)
         twin = StreamingServer.restore(snap)
+        twin.register(source.source_id)
         twin.fold(update)
         mine, _, _ = server.query()
         theirs, _, _ = twin.query()
