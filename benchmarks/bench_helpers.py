@@ -204,7 +204,11 @@ def bench_rows(result, wall_seconds: Optional[float] = None) -> Dict[str, Dict[s
     return rows
 
 
-def record_bench(category: str, rows: Dict[str, Dict[str, float]]) -> str:
+def record_bench(
+    category: str,
+    rows: Dict[str, Dict[str, float]],
+    num_sources: Optional[int] = None,
+) -> str:
     """Merge ``rows`` into ``BENCH_<category>.json`` and return its path.
 
     Several tests contribute to one category file (each merges its own
@@ -212,6 +216,11 @@ def record_bench(category: str, rows: Dict[str, Dict[str, float]]) -> str:
     run configuration (scale, Monte-Carlo runs, sources, timestamp) is
     recorded *per row*, so rows written under different configurations keep
     their own provenance when merged into the same file.
+
+    The ``num_sources`` provenance defaults to the module-level
+    :data:`NUM_SOURCES`; pass ``num_sources=`` to override it for the whole
+    call, or put a ``num_sources`` key in a row's metrics to pin that row's
+    actual source count (scaling curves sweep the count per row).
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{category}.json")
@@ -227,12 +236,14 @@ def record_bench(category: str, rows: Dict[str, Dict[str, float]]) -> str:
     provenance = {
         "scale": SCALE,
         "monte_carlo_runs": float(MONTE_CARLO_RUNS),
-        "num_sources": float(NUM_SOURCES),
+        "num_sources": float(NUM_SOURCES if num_sources is None else num_sources),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     for name, metrics in rows.items():
-        row = {k: float(v) for k, v in metrics.items()}
-        row.update(provenance)
+        # Provenance first, metrics second: a row that reports its own
+        # num_sources (a scaling-curve row) keeps it.
+        row = dict(provenance)
+        row.update({k: float(v) for k, v in metrics.items()})
         payload["algorithms"][name] = row
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:

@@ -42,6 +42,7 @@ from repro.api.specs import (
     PipelineConfig,
     SweepCell,
     SweepSpec,
+    TopologySpec,
     apply_axis_overrides,
     axis_names,
     parse_dropout,
@@ -62,6 +63,7 @@ __all__ = [
     "PipelineConfig",
     "DataSpec",
     "NetworkSpec",
+    "TopologySpec",
     "ExperimentSpec",
     "SweepSpec",
     "SweepCell",

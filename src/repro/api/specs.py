@@ -331,6 +331,54 @@ class NetworkSpec:
 
 
 # ---------------------------------------------------------------------------
+# TopologySpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative aggregation topology for streaming experiments.
+
+    ``kind="star"`` is the paper's flat source → server fold (the default,
+    and bit-identical to specs written before topologies existed);
+    ``kind="tree"`` folds sources through a balanced aggregator tree with
+    ``fan_in`` children per node — the shape is deterministic given
+    ``(num_sources, fan_in)``, see :meth:`repro.topology.Topology.balanced`.
+    """
+
+    kind: str = "star"
+    fan_in: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("star", "tree"):
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; expected 'star' or 'tree'"
+            )
+        _require_positive(self.fan_in, "fan_in")
+        if self.kind == "tree":
+            if self.fan_in is None:
+                raise ValueError("topology kind 'tree' requires fan_in")
+            if self.fan_in < 2:
+                raise ValueError(f"fan_in must be >= 2, got {self.fan_in}")
+        elif self.fan_in is not None:
+            raise ValueError("fan_in applies only to topology kind 'tree'")
+
+    def to_overrides(self) -> Dict[str, Any]:
+        """The engine keyword arguments this topology adds (empty for the
+        star — absence *is* the flat fold, keeping old runs bit-identical)."""
+        if self.kind == "star":
+            return {}
+        return {"topology": "tree", "fan_in": self.fan_in}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _prune_none({f.name: getattr(self, f.name) for f in fields(self)})
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TopologySpec":
+        _check_payload_fields(cls, payload)
+        return cls(**dict(payload))
+
+
+# ---------------------------------------------------------------------------
 # ExperimentSpec
 # ---------------------------------------------------------------------------
 
@@ -345,6 +393,7 @@ class ExperimentSpec:
     seed: int = 0
     num_sources: Optional[int] = None
     strategy: str = "random"
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.pipeline, PipelineConfig):
@@ -353,6 +402,8 @@ class ExperimentSpec:
             raise TypeError("data must be a DataSpec")
         if not isinstance(self.network, NetworkSpec):
             raise TypeError("network must be a NetworkSpec")
+        if self.topology is not None and not isinstance(self.topology, TopologySpec):
+            raise TypeError("topology must be a TopologySpec")
         _require_positive(self.runs, "runs")
         _require_positive(self.num_sources, "num_sources")
         if self.strategy not in PARTITION_STRATEGIES:
@@ -365,12 +416,23 @@ class ExperimentSpec:
                 f"num_sources is required for {self.pipeline.kind} pipeline "
                 f"{self.pipeline.algorithm!r}"
             )
+        if (
+            self.topology is not None
+            and self.topology.kind == "tree"
+            and self.pipeline.kind != "streaming"
+        ):
+            raise ValueError(
+                f"tree topology requires a streaming composition; "
+                f"{self.pipeline.algorithm!r} is {self.pipeline.kind}"
+            )
 
     def overrides(self) -> Dict[str, Any]:
         """The merged ``run_registered`` override dict (pipeline knobs plus
-        resolved network settings)."""
+        resolved network and topology settings)."""
         merged = self.pipeline.to_overrides()
         merged.update(self.network.to_kwargs(self.seed))
+        if self.topology is not None:
+            merged.update(self.topology.to_overrides())
         return merged
 
     def to_dict(self) -> Dict[str, Any]:
@@ -388,6 +450,10 @@ class ExperimentSpec:
         network = self.network.to_dict()
         if network != NetworkSpec().to_dict():
             payload["network"] = network
+        if self.topology is not None:
+            topology = self.topology.to_dict()
+            if topology != TopologySpec().to_dict():
+                payload["topology"] = topology
         return payload
 
     @classmethod
@@ -399,6 +465,8 @@ class ExperimentSpec:
         payload["pipeline"] = PipelineConfig.from_dict(payload["pipeline"])
         payload["data"] = DataSpec.from_dict(payload.get("data", {}))
         payload["network"] = NetworkSpec.from_dict(payload.get("network", {}))
+        if payload.get("topology") is not None:
+            payload["topology"] = TopologySpec.from_dict(payload["topology"])
         return cls(**payload)
 
 
@@ -428,6 +496,8 @@ _AXIS_TARGETS: Dict[str, Tuple[str, str]] = {
     "strategy": ("experiment", "strategy"),
     "runs": ("experiment", "runs"),
     "seed": ("experiment", "seed"),
+    "topology": ("topology", "kind"),
+    "fan_in": ("topology", "fan_in"),
 }
 
 
@@ -444,6 +514,7 @@ def apply_axis_overrides(
     path).  The new spec re-validates at construction."""
     sections: Dict[str, Dict[str, Any]] = {
         "pipeline": {}, "data": {}, "network": {}, "experiment": {},
+        "topology": {},
     }
     for name, value in overrides.items():
         if name not in _AXIS_TARGETS:
@@ -463,6 +534,19 @@ def apply_axis_overrides(
         changes["data"] = replace(spec.data, **sections["data"])
     if sections["network"]:
         changes["network"] = replace(spec.network, **sections["network"])
+    if sections["topology"]:
+        base_topology = spec.topology if spec.topology is not None else TopologySpec()
+        merged = {
+            "kind": base_topology.kind,
+            "fan_in": base_topology.fan_in,
+            **sections["topology"],
+        }
+        # A star cell has no fan-in: drop it so grids crossing
+        # topology=("star", "tree") with a fan_in axis stay valid — the
+        # star rows are the flat baseline the tree rows compare against.
+        if merged["kind"] == "star":
+            merged["fan_in"] = None
+        changes["topology"] = TopologySpec(**merged)
     return replace(spec, **changes) if changes else spec
 
 
@@ -576,6 +660,7 @@ __all__ = [
     "PipelineConfig",
     "DataSpec",
     "NetworkSpec",
+    "TopologySpec",
     "ExperimentSpec",
     "SweepCell",
     "SweepSpec",

@@ -122,6 +122,14 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--strategy", choices=api.PARTITION_STRATEGIES,
                         default=default("random"),
                         help="shard partition strategy (multi-source algorithms)")
+    parser.add_argument("--topology", choices=("star", "tree"),
+                        default=default(None),
+                        help="aggregation topology (streaming algorithms): "
+                             "star = flat source->server fold (default), "
+                             "tree = balanced aggregator tree")
+    parser.add_argument("--fan-in", type=int, default=default(None),
+                        help="children per aggregator for --topology tree "
+                             "(implies --topology tree when given alone)")
     parser.add_argument("--coreset-size", type=int, default=default(300),
                         help="coreset cardinality (single-source algorithms)")
     parser.add_argument("--total-samples", type=int, default=default(300),
@@ -250,7 +258,20 @@ def experiment_spec_from_args(
         seed=args.seed,
         num_sources=args.sources if kind != "single-source" else None,
         strategy=getattr(args, "strategy", "random"),
+        topology=_topology_spec_from_args(args),
     )
+
+
+def _topology_spec_from_args(args: argparse.Namespace) -> Optional[api.TopologySpec]:
+    """Resolve ``--topology`` / ``--fan-in`` (``--fan-in`` alone implies a
+    tree; neither flag means "no topology section" — the flat star)."""
+    kind = getattr(args, "topology", None)
+    fan_in = getattr(args, "fan_in", None)
+    if kind is None and fan_in is None:
+        return None
+    if kind is None:
+        kind = "tree"
+    return api.TopologySpec(kind=kind, fan_in=fan_in)
 
 
 def _execute_spec(spec: api.ExperimentSpec,
@@ -332,6 +353,7 @@ _OVERRIDE_AXES = (
     ("quantize_bits", "quantize_bits"), ("jobs", "jobs"), ("seed", "seed"),
     ("net_preset", "net"), ("loss", "loss"), ("retries", "retries"),
     ("dropout", "dropout"),
+    ("topology", "topology"), ("fan_in", "fan_in"),
 )
 
 
@@ -651,6 +673,12 @@ def build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=2, help="number of clusters")
     parser.add_argument("--sources", type=int, default=4,
                         help="number of concurrently streaming data sources")
+    parser.add_argument("--topology", choices=("star", "tree"), default=None,
+                        help="aggregation topology: star = flat source->server "
+                             "fold (default), tree = balanced aggregator tree")
+    parser.add_argument("--fan-in", type=int, default=None,
+                        help="children per aggregator for --topology tree "
+                             "(implies --topology tree when given alone)")
     parser.add_argument("--batch-size", type=int, default=512,
                         help="rows per timestamped batch")
     parser.add_argument("--window", type=int, default=None,
@@ -685,6 +713,10 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
     from repro.metrics.evaluation import EvaluationContext, evaluate_report
     from repro.quantization.bits import DOUBLE_PRECISION_BITS
 
+    if args.topology == "tree" and args.fan_in is None:
+        raise SystemExit("--topology tree requires --fan-in")
+    if args.topology == "star" and args.fan_in is not None:
+        raise SystemExit("--fan-in applies only to --topology tree")
     points, spec = load_benchmark_dataset(args.dataset, n=args.n, d=args.d, seed=args.seed)
     quantizer: Optional[RoundingQuantizer] = None
     if args.quantize_bits is not None and args.quantize_bits < 53:
@@ -704,13 +736,23 @@ def run_stream(args: argparse.Namespace) -> Dict[str, float]:
             query_every=args.query_every,
             seed=args.seed,
             jobs=getattr(args, "jobs", None),
+            topology=(
+                "tree"
+                if args.topology is None and args.fan_in is not None
+                else args.topology
+            ),
+            fan_in=args.fan_in,
             **_network_settings(args),
         )
     except TypeError as exc:
         raise SystemExit(f"invalid flags for {args.algorithm}: {exc}") from None
+    topology_note = (
+        f", topology=tree(fan_in={args.fan_in})" if args.fan_in is not None else ""
+    )
     print(f"dataset: {spec.name} (n={spec.n}, d={spec.d}), algorithm: {args.algorithm}, "
           f"k={args.k}, sources={args.sources}, batch={args.batch_size}, "
-          f"window={engine.window if engine.window is not None else 'none'}")
+          f"window={engine.window if engine.window is not None else 'none'}"
+          f"{topology_note}")
 
     report = engine.run_on_dataset(points, num_sources=args.sources, partition_seed=args.seed)
 

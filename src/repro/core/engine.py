@@ -315,8 +315,12 @@ class StagePipeline:
         wire = encode_for_wire(state)
         source_seconds = perf_counter() - source_start
 
-        for tag, payload, bits in wire.messages:
-            network.send(_SOURCE, "server", payload, tag=tag, significant_bits=bits)
+        # One batched call for the whole summary: bit-identical messages,
+        # with the per-send link/fault-plan resolution hoisted out.
+        network.send_many(
+            _SOURCE, "server",
+            [(tag, payload, bits) for tag, payload, bits in wire.messages],
+        )
         network.advance_round()
 
         # ---------------------------------------------------------- server

@@ -72,7 +72,7 @@ MULTI_SOURCE_KWARGS = (
 STREAMING_KWARGS = (
     "k", "epsilon", "delta", "coreset_size", "pca_rank", "jl_dimension",
     "quantizer", "batch_size", "window", "query_every", "server_n_init",
-    "server_max_iterations", "seed", "jobs",
+    "server_max_iterations", "seed", "jobs", "topology", "fan_in",
 ) + NETWORK_KWARGS
 
 #: Significant bits used by the registered +QT compositions when no explicit

@@ -55,6 +55,9 @@ from repro.stages.dr import JLStage
 from repro.stages.qt import QuantizeStage
 from repro.streaming.server import StreamingServer
 from repro.streaming.source import StreamingSource
+from repro.topology.aggregator import AggregatorNode
+from repro.topology.router import TopologyRouter
+from repro.topology.spec import TopologyLike, resolve_topology
 from repro.utils.parallel import parallel_map, resolve_jobs
 from repro.utils.random import SeedLike, as_generator, derive_seed, spawn_generators
 from repro.utils.validation import (
@@ -141,7 +144,18 @@ class StreamingEngine(DistributedStagePipeline):
         step ``t`` onwards (its last shipped summary stays at the server), a
         flaky window ``[a, b)`` makes steps ``a..b-1`` undeliverable — the
         source keeps compressing locally and ships the pending bucket delta
-        once the link recovers.
+        once the link recovers.  Fault plans may also name aggregators
+        (``"agg-<level>-<index>"``): a dead aggregator severs exactly its
+        subtree, the rest of the tree keeps streaming.
+    topology, fan_in:
+        Aggregation topology.  ``None`` / ``"star"`` is the paper's flat
+        source → server fold (bit-identical to the pre-topology engine);
+        ``"tree"`` folds sources through a balanced aggregator tree with
+        ``fan_in`` children per node (each hop a metered coreset merge +
+        re-reduce); a :class:`~repro.topology.spec.Topology` instance pins
+        an explicit shape.  Star runs draw exactly the same random
+        sequence as before — aggregator generators are derived only in
+        tree mode, after all flat-path draws.
     """
 
     name: str = "streaming"
@@ -166,6 +180,8 @@ class StreamingEngine(DistributedStagePipeline):
         fault_plan: Optional[FaultPlan] = None,
         retries: Optional[int] = None,
         network_seed: Optional[int] = None,
+        topology: TopologyLike = None,
+        fan_in: Optional[int] = None,
     ) -> None:
         # Deliberately does not call the distributed pipeline's __init__:
         # streaming merges summaries single-source-style, so epsilon is not
@@ -188,6 +204,8 @@ class StreamingEngine(DistributedStagePipeline):
             retries=retries, seed=network_seed
         )
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.topology = topology
+        self.fan_in = None if fan_in is None else check_positive_int(fan_in, "fan_in")
         self._rng = as_generator(seed)
         self._stages = None if stages is None else list(stages)
         if name is not None:
@@ -222,6 +240,11 @@ class StreamingEngine(DistributedStagePipeline):
         if not streams:
             raise ValueError("at least one batch stream is required")
         iterators = [iter(s) for s in streams]
+        # Resolve the aggregation topology against the actual source count
+        # before any random draws, so configuration errors surface eagerly.
+        # ``None`` means star: the flat code path, bit-identical to the
+        # pre-topology engine.
+        topology = resolve_topology(self.topology, self.fan_in, len(iterators))
         ctx = StageContext(
             k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
         )
@@ -268,13 +291,43 @@ class StreamingEngine(DistributedStagePipeline):
                 ),
                 network,
                 window=self.window,
+                receiver="server" if topology is None else topology.parent(f"source-{i}"),
             )
             for i in range(len(iterators))
         ]
-        # Registration handshake: folds from anything but these sources are
-        # typed rejections, matching the serve daemon's admission contract.
-        for source in sources:
-            server.register(source.source_id)
+        router = None
+        if topology is None:
+            # Registration handshake: folds from anything but these sources
+            # are typed rejections, matching the serve daemon's admission
+            # contract.
+            for source in sources:
+                server.register(source.source_id)
+        else:
+            # Aggregator generators are derived only in tree mode, *after*
+            # every flat-path draw — star runs keep the exact pre-topology
+            # random sequence.
+            agg_rngs = spawn_generators(self._rng, topology.num_aggregators)
+            wire_quantizer = next(
+                (s.quantizer for s in stages if isinstance(s, QuantizeStage)), None
+            )
+            aggregators = [
+                AggregatorNode(
+                    agg_id,
+                    topology.parent(agg_id),
+                    topology.level(agg_id),
+                    reduce_stage,
+                    StageContext(
+                        k=self.k, epsilon=self.epsilon, delta=self.delta,
+                        rng=agg_rngs[j],
+                    ),
+                    network,
+                    quantizer=wire_quantizer,
+                )
+                for j, agg_id in enumerate(topology.aggregator_ids)
+            ]
+            router = TopologyRouter(
+                topology, sources, aggregators, server, network, self.fault_plan
+            )
 
         ledger: Dict[int, List[int]] = {}
         queries: List[QuerySnapshot] = []
@@ -290,7 +343,7 @@ class StreamingEngine(DistributedStagePipeline):
         try:
             t = self._stream_steps(
                 iterators, sources, server, network, ledger, queries, exhausted,
-                executor,
+                executor, router,
             )
         finally:
             if executor is not None:
@@ -302,7 +355,7 @@ class StreamingEngine(DistributedStagePipeline):
         if not queries or queries[-1].time != last_step:
             queries.append(self._query(server, sources, network, ledger, last_step))
 
-        return self._report(sources, server, network, queries, ledger, t)
+        return self._report(sources, server, network, queries, ledger, t, router)
 
     def _stream_steps(
         self,
@@ -314,6 +367,7 @@ class StreamingEngine(DistributedStagePipeline):
         queries,
         exhausted,
         executor,
+        router=None,
     ) -> int:
         """Drive the batch-step loop; returns the number of steps taken."""
         t = 0
@@ -328,6 +382,11 @@ class StreamingEngine(DistributedStagePipeline):
                     # The node died: it stops ingesting; its last shipped
                     # summary stays at the server (stale but valid data).
                     network.mark_failed(source.source_id)
+                    exhausted[i] = True
+            if router is not None:
+                # A dead aggregator severs exactly its subtree: descendant
+                # sources stop ingesting, its parent keeps its last bucket.
+                for i in router.apply_faults(t):
                     exhausted[i] = True
             # Gather this step's arrivals first: the loop must end *before*
             # stream time advances past the last real batch step, otherwise
@@ -353,7 +412,19 @@ class StreamingEngine(DistributedStagePipeline):
                 executor=executor,
             )
             # Transmission phase: serial, in source order — the metered
-            # uplink and the per-step ledger are schedule-independent.
+            # uplink and the per-step ledger are schedule-independent.  In
+            # tree mode the router drives it (sources fold into their
+            # aggregators, aggregators cascade upward level by level).
+            if router is not None:
+                router.deliver_step(t, arrivals, ledger, self.window)
+                if (
+                    self.query_every is not None
+                    and (t + 1) % self.query_every == 0
+                    and server.has_summary
+                ):
+                    queries.append(self._query(server, sources, network, ledger, t))
+                t += 1
+                continue
             for source, batch in zip(sources, arrivals):
                 if batch is None:
                     # Sliding window: an ended stream still ages while others
@@ -396,6 +467,12 @@ class StreamingEngine(DistributedStagePipeline):
         processes constructing the same composition from the same seed agree
         on the DR maps and their summaries stay mergeable at the daemon.
         """
+        if self.topology not in (None, "star") or self.fan_in is not None:
+            raise ValueError(
+                "standalone_source is the client half of a star deployment "
+                "(sources fold straight into the daemon); tree topologies "
+                "apply only to in-process runs"
+            )
         ctx = StageContext(
             k=self.k, epsilon=self.epsilon, delta=self.delta, rng=self._rng
         )
@@ -474,6 +551,7 @@ class StreamingEngine(DistributedStagePipeline):
         queries: List[QuerySnapshot],
         ledger: Dict[int, List[int]],
         num_steps: int,
+        router=None,
     ) -> StreamingReport:
         final = queries[-1]
         quantizer_bits = self.quantizer_bits
@@ -503,7 +581,7 @@ class StreamingEngine(DistributedStagePipeline):
             tag_scalars=network.log.scalars_by_tag(),
             queries=queries,
         )
-        return report.with_detail(
+        report = report.with_detail(
             num_sources=len(sources),
             delivery_failures=sum(s.delivery_failures for s in sources),
             num_batch_steps=num_steps,
@@ -519,6 +597,17 @@ class StreamingEngine(DistributedStagePipeline):
             batch_size=self.batch_size,
             window=0 if self.window is None else self.window,
         )
+        if router is not None:
+            report = report.with_detail(
+                topology_hops=router.topology.hops,
+                num_aggregators=router.topology.num_aggregators,
+                aggregator_seconds=router.aggregator_seconds,
+                total_aggregator_seconds=router.total_aggregator_seconds,
+                aggregator_merges=router.aggregator_merges,
+                aggregator_delivery_failures=router.aggregator_delivery_failures,
+                failed_aggregators=router.failed_aggregators,
+            )
+        return report
 
 
 def _pin_derived_dimensions(

@@ -38,6 +38,10 @@ from repro.utils.validation import check_fraction
 #: Node identifier of the edge server (the uplink receiver).
 SERVER_ID = "server"
 
+#: Node-id prefix of mid-tree aggregators (``"agg-<level>-<index>"``).
+#: Traffic *into* an aggregator is upward-bound and counts as uplink.
+AGGREGATOR_PREFIX = "agg-"
+
 
 class DeliveryError(RuntimeError):
     """A transmission could not be delivered within its retry budget.
@@ -307,6 +311,7 @@ def resolve_condition(condition: ConditionLike) -> NetworkCondition:
 
 __all__ = [
     "SERVER_ID",
+    "AGGREGATOR_PREFIX",
     "DeliveryError",
     "LinkModel",
     "FaultPlan",

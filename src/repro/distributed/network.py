@@ -22,11 +22,12 @@ condition every pipeline is bit-identical to the loss-free implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.distributed.conditions import (
+    AGGREGATOR_PREFIX,
     SERVER_ID,
     ConditionLike,
     DeliveryError,
@@ -105,25 +106,58 @@ class Message:
 
     @property
     def uplink(self) -> bool:
-        """True if the message flows from a data source to the server."""
-        return self.receiver == "server"
+        """True if the message flows upward toward the server.
+
+        In a star topology that means ``receiver == "server"``; in a tree
+        topology every hop into an aggregator is upward-bound too — bits
+        spent on an intermediate hop are still bits spent, so per-hop
+        traffic counts toward the headline communication totals.
+        """
+        return self.receiver == SERVER_ID or self.receiver.startswith(
+            AGGREGATOR_PREFIX
+        )
 
 
 @dataclass
 class TransmissionLog:
-    """Aggregated view over a sequence of messages."""
+    """Aggregated view over a sequence of messages.
+
+    The headline totals (``total_scalars`` / ``total_bits``) are maintained
+    incrementally as messages are recorded, so they are O(1) to read.  The
+    streaming engine polls them around every per-source fold to build its
+    per-step ledger; with the totals recomputed from scratch each poll the
+    whole run would be quadratic in the message count — fatal at thousands
+    of sources.  The per-tag / per-sender breakdowns stay lazy (computed
+    once per report).
+    """
 
     messages: List[Message] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._all_scalars = 0
+        self._all_bits = 0
+        self._uplink_scalars = 0
+        self._uplink_bits = 0
+        for message in self.messages:
+            self._tally(message)
+
+    def _tally(self, message: Message) -> None:
+        self._all_scalars += message.scalars
+        self._all_bits += message.bits
+        if message.uplink:
+            self._uplink_scalars += message.scalars
+            self._uplink_bits += message.bits
+
     def record(self, message: Message) -> None:
         self.messages.append(message)
+        self._tally(message)
 
     # ------------------------------------------------------------- queries
     def total_scalars(self, uplink_only: bool = True) -> int:
-        return sum(m.scalars for m in self.messages if m.uplink or not uplink_only)
+        return self._uplink_scalars if uplink_only else self._all_scalars
 
     def total_bits(self, uplink_only: bool = True) -> int:
-        return sum(m.bits for m in self.messages if m.uplink or not uplink_only)
+        return self._uplink_bits if uplink_only else self._all_bits
 
     def scalars_by_tag(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -353,6 +387,67 @@ class SimulatedNetwork:
             sender, receiver, tag,
             f"lost after {budget + 1} attempts (loss={link.loss:g})",
         )
+
+    def send_many(
+        self,
+        sender: str,
+        receiver: str,
+        parts: Iterable[Tuple[str, object, Optional[int]]],
+        retries: Optional[int] = None,
+    ) -> None:
+        """Transmit several payloads over one link in one batched call.
+
+        ``parts`` is a sequence of ``(tag, payload, significant_bits)``
+        tuples.  The recorded message sequence — counts, precisions, loss
+        draws, simulated seconds — is bit-identical to calling :meth:`send`
+        once per part in order; the batching only hoists the per-call
+        endpoint/link/fault-plan resolution out of the loop, which is what
+        keeps per-step transmission affordable at thousands of sources.
+
+        Raises :class:`DeliveryError` on the first part that cannot be
+        delivered (earlier parts' attempts are already metered); all-or-
+        nothing semantics stay with the caller, exactly as with
+        sequential sends.
+        """
+        parts = list(parts)
+        endpoint = receiver if sender == SERVER_ID else sender
+        if self.node_is_down(endpoint):
+            first_tag = parts[0][0] if parts else "data"
+            raise DeliveryError(sender, receiver, first_tag, f"{endpoint} is down")
+
+        link = self._link_for(endpoint)
+        delay = self.fault_plan.delay_factor(endpoint)
+        loss_rng = self._loss_rng(endpoint) if link.loss > 0.0 else None
+        budget = self.condition.retries if retries is None else int(retries)
+        record = self.log.record
+
+        for tag, payload, significant_bits in parts:
+            count = _count_scalars(payload)
+            bits_per_value = bits_per_scalar(significant_bits)
+            seconds = link.transmission_seconds(count * bits_per_value) * delay
+            for attempt in range(budget + 1):
+                lost = loss_rng is not None and bool(
+                    loss_rng.random() < link.loss
+                )
+                record(
+                    Message(
+                        sender=sender,
+                        receiver=receiver,
+                        tag=tag,
+                        scalars=count,
+                        bits_per_value=bits_per_value,
+                        delivered=not lost,
+                        attempt=attempt,
+                        simulated_seconds=seconds,
+                    )
+                )
+                if not lost:
+                    break
+            else:
+                raise DeliveryError(
+                    sender, receiver, tag,
+                    f"lost after {budget + 1} attempts (loss={link.loss:g})",
+                )
 
     # Convenience wrappers ---------------------------------------------------
     def uplink_scalars(self) -> int:

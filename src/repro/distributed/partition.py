@@ -83,12 +83,14 @@ def partition_dataset(
         if diff >= 0:
             sizes[-1] += diff
         else:
-            for i in range(num_sources - 1, -1, -1):
-                if diff == 0:
-                    break
-                take = min(int(sizes[i]) - 1, -diff)
-                sizes[i] -= take
-                diff += take
+            # Drain the deficit greedily from the largest (last) buckets,
+            # each down to one point at most.  Vectorised so that
+            # thousand-source splits stay cheap: walking the reversed
+            # capacity prefix-sums is exactly the sequential drain.
+            capacity = (sizes - 1)[::-1]
+            drained_before = np.concatenate(([0], np.cumsum(capacity)[:-1]))
+            take = np.clip(-diff - drained_before, 0, capacity)
+            sizes = sizes - take[::-1]
         chunks = []
         start = 0
         for size in sizes:

@@ -40,15 +40,25 @@ GOLDEN_CONFIG: Dict[str, object] = {
 }
 
 
+#: Pipeline overrides of the tree-mode golden section: the streaming
+#: compositions rerun under a balanced fan-in-2 aggregation tree, which at
+#: the golden source count (3) yields two mid-tree aggregators whose hop-1
+#: traffic is pinned via the ``@h1`` wire tags.
+GOLDEN_TREE_OVERRIDES: Dict[str, object] = {"topology": "tree", "fan_in": 2}
+
+
 def communication_profile(
     names: Optional[Iterable[str]] = None,
     config: Optional[Dict[str, object]] = None,
+    pipeline_overrides: Optional[Dict[str, object]] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run registered compositions under the ideal network and profile them.
 
     Returns ``{pipeline name: {"uplink_scalars", "uplink_bits",
     "scalars_by_tag"}}`` for each name (default: every registered
     composition), using the fixed :data:`GOLDEN_CONFIG` unless overridden.
+    ``pipeline_overrides`` are extra constructor kwargs applied verbatim to
+    every profiled pipeline (every name must accept them).
     """
     cfg = dict(GOLDEN_CONFIG)
     if config:
@@ -78,11 +88,9 @@ def communication_profile(
         # One merged config covers all kinds; select each kind's subset so
         # create_pipeline can run strictly (no silent filtering).
         accepted = registry.accepted_kwargs(name)
-        pipeline = registry.create_pipeline(
-            name,
-            strict=True,
-            **{key: value for key, value in merged.items() if key in accepted},
-        )
+        kwargs = {key: value for key, value in merged.items() if key in accepted}
+        kwargs.update(pipeline_overrides or {})
+        pipeline = registry.create_pipeline(name, strict=True, **kwargs)
         if registry.is_multi_source(name):
             report = pipeline.run_on_dataset(
                 points,
@@ -100,4 +108,27 @@ def communication_profile(
     return profiles
 
 
-__all__ = ["GOLDEN_CONFIG", "communication_profile"]
+def tree_communication_profile(
+    names: Optional[Iterable[str]] = None,
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Profile the streaming compositions under the golden aggregation tree.
+
+    Same dataset, seeds, and sizes as :func:`communication_profile`, but the
+    sources fold through a balanced fan-in-2 tree
+    (:data:`GOLDEN_TREE_OVERRIDES`), so the per-tag tables additionally pin
+    the mid-tree hop traffic (the ``@h<level>`` tags).
+    """
+    if names is None:
+        names = registry.registered_names(streaming=True)
+    return communication_profile(
+        names, config, pipeline_overrides=dict(GOLDEN_TREE_OVERRIDES)
+    )
+
+
+__all__ = [
+    "GOLDEN_CONFIG",
+    "GOLDEN_TREE_OVERRIDES",
+    "communication_profile",
+    "tree_communication_profile",
+]

@@ -1,0 +1,23 @@
+"""Aggregation topologies: star and tree fan-in for the streaming fold.
+
+The paper's protocol is a flat star — every source uplinks straight to the
+edge server.  This package generalizes the star into configurable
+aggregation trees: sources fold into mid-tree :class:`AggregatorNode`\\ s,
+each hop re-compressing its subtree's summary with the composition's CR
+stage (the :class:`~repro.streaming.tree.CoresetTree` merge is exactly the
+per-hop operation) before shipping one bucket upward through the metered
+network.  The :class:`Topology` spec pins the shape deterministically; the
+:class:`TopologyRouter` wires it into the streaming engine's batch loop.
+"""
+
+from repro.topology.aggregator import AggregatorNode
+from repro.topology.router import TopologyRouter
+from repro.topology.spec import Topology, is_aggregator_id, resolve_topology
+
+__all__ = [
+    "AggregatorNode",
+    "Topology",
+    "TopologyRouter",
+    "is_aggregator_id",
+    "resolve_topology",
+]

@@ -23,20 +23,34 @@ FIXTURE = Path(__file__).resolve().parent / "communication.json"
 
 
 def main() -> int:
-    from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
+    from repro.metrics.profile import (
+        GOLDEN_CONFIG,
+        GOLDEN_TREE_OVERRIDES,
+        communication_profile,
+        tree_communication_profile,
+    )
 
     profiles = communication_profile()
+    tree_profiles = tree_communication_profile()
     payload = {
         "_comment": (
             "Golden communication fixture: per-pipeline uplink scalars/bits "
-            "and scalars_by_tag under the ideal network.  Regenerate with "
+            "and scalars_by_tag under the ideal network.  The tree_profiles "
+            "section reruns the streaming compositions through the golden "
+            "fan-in-2 aggregation tree, pinning the per-hop (@h<level>) "
+            "aggregator traffic.  Regenerate with "
             "tests/goldens/regenerate_communication.py; never edit by hand."
         ),
         "config": GOLDEN_CONFIG,
         "profiles": profiles,
+        "tree_config": GOLDEN_TREE_OVERRIDES,
+        "tree_profiles": tree_profiles,
     }
     FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {FIXTURE} ({len(profiles)} pipelines)")
+    print(
+        f"wrote {FIXTURE} ({len(profiles)} pipelines, "
+        f"{len(tree_profiles)} tree profiles)"
+    )
     return 0
 
 

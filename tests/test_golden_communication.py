@@ -20,7 +20,12 @@ from pathlib import Path
 import pytest
 
 from repro.core import registry
-from repro.metrics.profile import GOLDEN_CONFIG, communication_profile
+from repro.metrics.profile import (
+    GOLDEN_CONFIG,
+    GOLDEN_TREE_OVERRIDES,
+    communication_profile,
+    tree_communication_profile,
+)
 
 FIXTURE = Path(__file__).resolve().parent / "goldens" / "communication.json"
 
@@ -73,3 +78,58 @@ class TestGoldenCommunication:
         for name, profile in fixture["profiles"].items():
             total_tagged = sum(profile["scalars_by_tag"].values())
             assert profile["uplink_scalars"] <= total_tagged, name
+
+
+class TestGoldenTreeCommunication:
+    """The tree-mode section: streaming compositions through the golden
+    fan-in-2 aggregation tree, aggregator hops pinned via @h<level> tags."""
+
+    @pytest.fixture(scope="class")
+    def current_tree_profiles(self):
+        return tree_communication_profile()
+
+    def test_tree_config_pinned(self, fixture):
+        assert fixture["tree_config"] == {
+            k: v for k, v in GOLDEN_TREE_OVERRIDES.items()
+        }
+
+    def test_tree_section_covers_every_streaming_pipeline(self, fixture):
+        assert sorted(fixture["tree_profiles"]) == registry.registered_names(
+            streaming=True
+        )
+
+    def test_tree_profiles_match_fixture_exactly(self, fixture, current_tree_profiles):
+        mismatches = {}
+        for name, pinned in fixture["tree_profiles"].items():
+            got = current_tree_profiles[name]
+            if got != pinned:
+                mismatches[name] = {"pinned": pinned, "got": got}
+        assert not mismatches, (
+            "tree communication drifted from the golden fixture (regenerate "
+            f"only if the change is intended): {json.dumps(mismatches, indent=2)}"
+        )
+
+    def test_every_tree_profile_pins_aggregator_hops(self, fixture):
+        # The point of the section: each streaming composition's fixture row
+        # covers mid-tree traffic — at the golden source count the fan-in-2
+        # tree has exactly one aggregator level.
+        for name, profile in fixture["tree_profiles"].items():
+            hop_tags = [t for t in profile["scalars_by_tag"] if t.endswith("@h1")]
+            assert hop_tags, name
+            # Uplink covers both the sources' hop-0 and the aggregators'
+            # hop-1 traffic, so the tree always ships more than the star.
+            flat = fixture["profiles"][name]
+            assert profile["uplink_scalars"] > flat["uplink_scalars"], name
+
+    def test_flat_rows_unperturbed_by_tree_mode(self, fixture, current_tree_profiles):
+        # The sources' own hop-0 tag totals are identical in star and tree
+        # mode: aggregation only adds hops, it never changes what a source
+        # transmits.
+        for name, tree in fixture["tree_profiles"].items():
+            flat_tags = fixture["profiles"][name]["scalars_by_tag"]
+            hop0 = {
+                tag: count
+                for tag, count in tree["scalars_by_tag"].items()
+                if "@h" not in tag
+            }
+            assert hop0 == flat_tags, name

@@ -258,6 +258,21 @@ def partition_cases(draw):
     return points, num_sources, seed, skew
 
 
+@st.composite
+def large_partition_cases(draw):
+    """Thousand-source splits with n barely above num_sources and strong
+    skew — the regime where the skewed-size remainder handling has to drain
+    a large deficit without emptying any bucket."""
+    num_sources = draw(st.integers(min_value=1000, max_value=4096))
+    extra = draw(st.integers(min_value=0, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    skew = draw(st.floats(min_value=32.0, max_value=4096.0,
+                          allow_nan=False, allow_infinity=False))
+    n = num_sources + extra
+    points = np.random.default_rng(seed).standard_normal((n, 2))
+    return points, num_sources, seed, skew
+
+
 class TestPartitionProperties:
     @settings(max_examples=100, deadline=None)
     @given(partition_cases(), st.sampled_from(["random", "skewed-size", "by-cluster"]))
@@ -303,6 +318,27 @@ class TestPartitionProperties:
         assert min(sizes) >= 1
         # The geometric profile always makes the first source a smallest one.
         assert sizes[0] == min(sizes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(large_partition_cases(),
+           st.sampled_from(["random", "skewed-size", "by-cluster"]))
+    def test_thousand_source_splits_stay_exact(self, case, strategy):
+        # Hierarchical aggregation makes thousand-source deployments real;
+        # every strategy must still produce an exact cover with non-empty
+        # sources when n is barely above num_sources and the skew is strong.
+        points, num_sources, seed, skew = case
+        chunks = partition_dataset(
+            points, num_sources, strategy=strategy, seed=seed, skew=skew
+        )
+        assert len(chunks) == num_sources
+        sizes = np.array([c.size for c in chunks])
+        assert sizes.min() >= 1
+        combined = np.concatenate(chunks)
+        assert np.array_equal(np.sort(combined), np.arange(points.shape[0]))
+        if strategy == "skewed-size":
+            # The drained deficit never inverts the geometric profile's
+            # smallest-first shape.
+            assert sizes[0] == sizes.min()
 
 
 class TestCoresetProperties:
